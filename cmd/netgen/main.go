@@ -1,0 +1,87 @@
+// Command netgen generates random signal nets — the experiment workloads —
+// as JSON or text files.
+//
+// Usage:
+//
+//	netgen -pins 10 -seed 3               # one net as JSON to stdout
+//	netgen -pins 20 -count 50 -dir nets/  # a batch of files
+//	netgen -pins 10 -format text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"nontree/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netgen: ")
+
+	var (
+		pins   = flag.Int("pins", 10, "pins per net (source + sinks)")
+		count  = flag.Int("count", 1, "number of nets")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		side   = flag.Float64("side", netlist.DefaultSide, "layout square side (µm)")
+		dir    = flag.String("dir", "", "output directory (default stdout; required for count > 1)")
+		format = flag.String("format", "json", "output format: json or text")
+	)
+	flag.Parse()
+
+	if err := run(*pins, *count, *seed, *side, *dir, *format); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(pins, count int, seed int64, side float64, dir, format string) error {
+	if format != "json" && format != "text" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if count > 1 && dir == "" {
+		return fmt.Errorf("-dir is required when generating multiple nets")
+	}
+	gen := netlist.NewGenerator(seed)
+	gen.Side = side
+
+	nets, err := gen.GenerateBatch(count, pins)
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		return write(os.Stdout, nets[0], format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, n := range nets {
+		ext := ".json"
+		if format == "text" {
+			ext = ".net"
+		}
+		path := filepath.Join(dir, n.Name+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f, n, format); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println(path)
+	}
+	return nil
+}
+
+func write(f *os.File, n *netlist.Net, format string) error {
+	if format == "text" {
+		return n.WriteText(f)
+	}
+	return n.WriteJSON(f)
+}

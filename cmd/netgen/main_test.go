@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nontree/internal/netlist"
+)
+
+func TestRunBatchToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(8, 3, 7, netlist.DefaultSide, dir, "json"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("wrote %d files, want 3", len(entries))
+	}
+	// Each file must parse back into a valid 8-pin net.
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := netlist.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if net.NumPins() != 8 {
+			t.Errorf("%s: %d pins", e.Name(), net.NumPins())
+		}
+	}
+}
+
+func TestRunTextFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(5, 2, 1, 5000, dir, "text"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := netlist.ReadText(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if net.NumPins() != 5 {
+			t.Errorf("%s: %d pins", e.Name(), net.NumPins())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(5, 1, 1, 5000, "", "yaml"); err == nil {
+		t.Error("unknown format must fail")
+	}
+	if err := run(5, 3, 1, 5000, "", "json"); err == nil {
+		t.Error("multi-net without -dir must fail")
+	}
+	if err := run(1, 1, 1, 5000, t.TempDir(), "json"); err == nil {
+		t.Error("one-pin nets must fail")
+	}
+}

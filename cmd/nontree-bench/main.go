@@ -1,0 +1,330 @@
+// Command nontree-bench regenerates the paper's evaluation: Tables 2–7 and
+// Figures 1, 2, 3 and 5 of McCoy & Robins, "Non-Tree Routing" (DATE 1994).
+//
+// Usage:
+//
+//	nontree-bench                          # everything, paper configuration
+//	nontree-bench -exp table2              # one experiment
+//	nontree-bench -trials 10 -sizes 5,10   # quicker run
+//	nontree-bench -oracle spice            # the paper's SPICE-in-the-loop search
+//	nontree-bench -measure elmore          # skip transient measurement (fastest)
+//	nontree-bench -inductance              # RLC interconnect model
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"nontree/internal/expt"
+	"nontree/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nontree-bench: ")
+
+	var (
+		exp        = flag.String("exp", "all", "experiment: all, tables, figures, table2..table7, fig1, fig2, fig3, fig5, csorg, wsorg, timing, frontier")
+		trials     = flag.Int("trials", 50, "random nets per size (paper: 50)")
+		sizes      = flag.String("sizes", "5,10,20,30", "comma-separated net sizes (paper: 5,10,20,30)")
+		seed       = flag.Int64("seed", 1994, "workload seed")
+		oracle     = flag.String("oracle", expt.OracleElmore, "search oracle: elmore or spice")
+		measure    = flag.String("measure", expt.OracleSpice, "measurement: spice or elmore")
+		segment    = flag.Float64("segment", 500, "π-segment length (µm) for measurement circuits")
+		inductance = flag.Bool("inductance", false, "include wire inductance (RLC model)")
+		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of text tables")
+		svgDir     = flag.String("svgdir", "", "also write each figure stage as an SVG drawing into this directory")
+	)
+	flag.Parse()
+
+	cfg := expt.Default()
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+	cfg.SearchOracle = *oracle
+	cfg.MeasureWith = *measure
+	cfg.SegmentLength = *segment
+	cfg.Inductance = *inductance
+
+	parsed, err := parseSizes(*sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Sizes = parsed
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	if !*jsonOut {
+		fmt.Printf("Non-Tree Routing reproduction — search oracle: %s, measurement: %s, %d trials, sizes %v, seed %d\n\n",
+			cfg.SearchOracle, cfg.MeasureWith, cfg.Trials, cfg.Sizes, cfg.Seed)
+	}
+
+	if err := run(cfg, *exp, *jsonOut, *svgDir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// jsonDocument is the machine-readable output of a -json run.
+type jsonDocument struct {
+	Config   jsonConfig           `json:"config"`
+	Tables   []*expt.Table        `json:"tables,omitempty"`
+	Figures  []*expt.Figure       `json:"figures,omitempty"`
+	Frontier []expt.FrontierEntry `json:"frontier,omitempty"`
+}
+
+type jsonConfig struct {
+	Sizes        []int  `json:"sizes"`
+	Trials       int    `json:"trials"`
+	Seed         int64  `json:"seed"`
+	SearchOracle string `json:"search_oracle"`
+	MeasureWith  string `json:"measure_with"`
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}
+
+func run(cfg expt.Config, exp string, jsonOut bool, svgDir string) error {
+	tables := map[string]func(expt.Config) (*expt.Table, error){
+		"table2": expt.Table2, "table3": expt.Table3, "table4": expt.Table4,
+		"table5": expt.Table5, "table6": expt.Table6, "table7": expt.Table7,
+		"csorg": expt.CSORG, "wsorg": expt.WSORG,
+	}
+	figures := map[string]func(expt.Config) (*expt.Figure, error){
+		"fig1": expt.Figure1, "fig2": expt.Figure2,
+		"fig3": expt.Figure3, "fig5": expt.Figure5,
+	}
+
+	doc := &jsonDocument{Config: jsonConfig{
+		Sizes:        cfg.Sizes,
+		Trials:       cfg.Trials,
+		Seed:         cfg.Seed,
+		SearchOracle: cfg.SearchOracle,
+		MeasureWith:  cfg.MeasureWith,
+	}}
+	finish := func() error {
+		if !jsonOut {
+			return nil
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	runTable := func(name string) error {
+		start := time.Now()
+		t, err := tables[name](cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if jsonOut {
+			doc.Tables = append(doc.Tables, t)
+			return nil
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+		return nil
+	}
+	runFigure := func(name string) error {
+		f, err := figures[name](cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if svgDir != "" {
+			if err := writeFigureSVGs(svgDir, f); err != nil {
+				return err
+			}
+		}
+		if jsonOut {
+			doc.Figures = append(doc.Figures, f)
+			return nil
+		}
+		f.Render(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+
+	runTiming := func() error {
+		start := time.Now()
+		res, err := expt.Timing(cfg, 10, 4, 10)
+		if err != nil {
+			return fmt.Errorf("timing: %w", err)
+		}
+		if jsonOut {
+			// The summary is scalar-valued; encode it as a values-only
+			// figure entry rather than growing the document schema.
+			doc.Figures = append(doc.Figures, &expt.Figure{
+				ID:    "ext-timing",
+				Title: "iterative critical-net re-routing",
+				Values: map[string]float64{
+					"mean_clock_ratio": res.MeanClockRatio,
+					"mean_wire_ratio":  res.MeanWireRatio,
+					"mean_iterations":  res.MeanIterations,
+				},
+			})
+			return nil
+		}
+		res.Render(os.Stdout)
+		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+		return nil
+	}
+
+	runFrontier := func() error {
+		start := time.Now()
+		size := cfg.Sizes[len(cfg.Sizes)-1]
+		entries, err := expt.Frontier(cfg, size)
+		if err != nil {
+			return fmt.Errorf("frontier: %w", err)
+		}
+		if jsonOut {
+			doc.Frontier = entries
+			return nil
+		}
+		expt.RenderFrontier(os.Stdout, entries, size, cfg.Trials)
+		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+		return nil
+	}
+
+	switch {
+	case exp == "all" || exp == "figures":
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig5"} {
+			if err := runFigure(name); err != nil {
+				return err
+			}
+		}
+		if exp == "figures" {
+			return finish()
+		}
+		fallthrough
+	case exp == "tables":
+		for _, name := range []string{"table2", "table3", "table4", "table5", "table6", "table7"} {
+			if err := runTable(name); err != nil {
+				return err
+			}
+		}
+		if exp == "tables" {
+			return finish()
+		}
+		// "all" continues into the extension experiments.
+		for _, name := range []string{"csorg", "wsorg"} {
+			if err := runTable(name); err != nil {
+				return err
+			}
+		}
+		if err := runTiming(); err != nil {
+			return err
+		}
+		if err := runFrontier(); err != nil {
+			return err
+		}
+		return finish()
+	case exp == "frontier":
+		if err := runFrontier(); err != nil {
+			return err
+		}
+		return finish()
+	case exp == "timing":
+		if err := runTiming(); err != nil {
+			return err
+		}
+		return finish()
+	default:
+		if fn := tables[exp]; fn != nil {
+			if err := runTable(exp); err != nil {
+				return err
+			}
+			return finish()
+		}
+		if fn := figures[exp]; fn != nil {
+			if err := runFigure(exp); err != nil {
+				return err
+			}
+			return finish()
+		}
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// writeFigureSVGs draws every stage of a figure into dir, one SVG per
+// stage, named like "figure2-a-mst.svg". Added (non-baseline) edges are
+// highlighted in later stages by diffing against the first stage.
+func writeFigureSVGs(dir string, f *expt.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var baseline map[[2]int]bool
+	for i, stage := range f.Stages {
+		var highlight [][2]int
+		if i == 0 {
+			baseline = make(map[[2]int]bool, len(stage.Topo.Edges))
+			for _, e := range stage.Topo.Edges {
+				baseline[e] = true
+			}
+		} else {
+			for _, e := range stage.Topo.Edges {
+				if !baseline[e] {
+					highlight = append(highlight, e)
+				}
+			}
+		}
+		name := fmt.Sprintf("%s-%s.svg", f.ID, slugify(stage.Label))
+		out, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		v := viz.View{
+			Points:  stage.Topo.Points,
+			NumPins: stage.Topo.NumPins,
+			Edges:   stage.Topo.Edges,
+		}
+		if err := viz.SVGView(out, v, highlight, viz.DefaultStyle()); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slugify reduces a stage label like "(b) MST + 1 edge" to "b-mst-1-edge".
+func slugify(s string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

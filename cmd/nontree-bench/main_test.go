@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"nontree/internal/expt"
+)
+
+func TestParseSizes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"5,10,20,30", []int{5, 10, 20, 30}, false},
+		{" 5 , 10 ", []int{5, 10}, false},
+		{"7", []int{7}, false},
+		{"5,,10", []int{5, 10}, false},
+		{"", nil, true},
+		{",", nil, true},
+		{"5,abc", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseSizes(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseSizes(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSizes(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseSizes(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseSizes(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	cfg := benchCfg()
+	if err := run(cfg, "bogus", false, ""); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunSingleTableJSON(t *testing.T) {
+	cfg := benchCfg()
+	if err := run(cfg, "table6", true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchCfg returns a minimal configuration for command-level tests.
+func benchCfg() (cfg expt.Config) {
+	cfg = expt.Default()
+	cfg.Sizes = []int{5}
+	cfg.Trials = 2
+	cfg.MeasureWith = expt.OracleElmore
+	return cfg
+}
+
+// silencing stdout keeps `go test` output readable while the run()
+// helpers print tables.
+func silenced(t *testing.T, fn func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return fn()
+}
+
+func TestRunFiguresWithSVGs(t *testing.T) {
+	cfg := benchCfg()
+	dir := t.TempDir()
+	if err := silenced(t, func() error { return run(cfg, "figures", false, dir) }); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 8 {
+		t.Errorf("expected ≥8 figure SVGs, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".svg") {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+}
+
+func TestRunFrontierAndTiming(t *testing.T) {
+	cfg := benchCfg()
+	if err := silenced(t, func() error { return run(cfg, "frontier", false, "") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := silenced(t, func() error { return run(cfg, "timing", false, "") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllTablesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every table")
+	}
+	cfg := benchCfg()
+	if err := silenced(t, func() error { return run(cfg, "tables", false, "") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"(b) MST + 1 edge":  "b-mst-1-edge",
+		"(a) Steiner tree":  "a-steiner-tree",
+		"plain":             "plain",
+		"  weird -- label ": "weird-label",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

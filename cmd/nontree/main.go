@@ -1,0 +1,181 @@
+// Command nontree routes a single signal net with any of the paper's
+// algorithms and reports delays, wirelength, and optionally an SVG drawing.
+//
+// Usage:
+//
+//	nontree -gen 10 -seed 7 -algo ldrg            # random net, LDRG
+//	nontree -net mynet.json -algo sldrg -svg out.svg
+//	nontree -gen 20 -algo ert                      # baselines work too
+//	nontree -gen 10 -algo ldrg -oracle spice       # SPICE-in-the-loop search
+//
+// Algorithms: mst, steiner, ert, sert (tree constructions);
+// ldrg, sldrg, h1, h2, h3, ert-ldrg (non-tree routings).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"nontree"
+	"nontree/internal/graph"
+	"nontree/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nontree: ")
+
+	var (
+		netFile  = flag.String("net", "", "net file (JSON or text); mutually exclusive with -gen")
+		genPins  = flag.Int("gen", 0, "generate a random net with this many pins")
+		seed     = flag.Int64("seed", 1, "random net seed")
+		algo     = flag.String("algo", "ldrg", "algorithm: mst, steiner, ert, sert, ldrg, sldrg, h1, h2, h3, ert-ldrg")
+		oracle   = flag.String("oracle", "elmore", "search oracle for greedy algorithms: elmore or spice")
+		maxEdges = flag.Int("max-edges", 0, "cap on added edges (0 = to convergence)")
+		svgOut   = flag.String("svg", "", "write an SVG drawing of the result here")
+	)
+	flag.Parse()
+
+	if err := run(*netFile, *genPins, *seed, *algo, *oracle, *maxEdges, *svgOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadNet(netFile string, genPins int, seed int64) (*nontree.Net, error) {
+	if netFile != "" && genPins > 0 {
+		return nil, fmt.Errorf("use either -net or -gen, not both")
+	}
+	if netFile != "" {
+		f, err := os.Open(netFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(netFile, ".json") {
+			return nontree.ReadNetJSON(f)
+		}
+		return nontree.ReadNetText(f)
+	}
+	if genPins < 2 {
+		return nil, fmt.Errorf("need -net FILE or -gen N (N ≥ 2)")
+	}
+	return nontree.GenerateNet(seed, genPins)
+}
+
+func run(netFile string, genPins int, seed int64, algo, oracle string, maxEdges int, svgOut string) error {
+	net, err := loadNet(netFile, genPins, seed)
+	if err != nil {
+		return err
+	}
+	params := nontree.DefaultParams()
+	cfg := nontree.Config{MaxAddedEdges: maxEdges}
+	if oracle == "spice" {
+		cfg.Oracle = nontree.OracleSpice
+	}
+
+	var (
+		baseline *nontree.Topology
+		final    *nontree.Topology
+		added    []graph.Edge
+	)
+	switch algo {
+	case "mst":
+		final, err = nontree.MST(net)
+	case "steiner":
+		final, err = nontree.SteinerTree(net)
+	case "ert":
+		final, err = nontree.ERT(net, params)
+	case "sert":
+		final, err = nontree.SERT(net, params)
+	case "ldrg":
+		baseline, err = nontree.MST(net)
+		if err == nil {
+			var res *nontree.Result
+			res, err = nontree.LDRG(baseline, cfg)
+			if err == nil {
+				final, added = res.Topology, res.AddedEdges
+			}
+		}
+	case "ert-ldrg":
+		baseline, err = nontree.ERT(net, params)
+		if err == nil {
+			var res *nontree.Result
+			res, err = nontree.LDRG(baseline, cfg)
+			if err == nil {
+				final, added = res.Topology, res.AddedEdges
+			}
+		}
+	case "sldrg":
+		var res *nontree.SteinerResult
+		res, err = nontree.SLDRG(net, cfg)
+		if err == nil {
+			baseline, final, added = res.Seed, res.Topology, res.AddedEdges
+		}
+	case "h1", "h2", "h3":
+		baseline, err = nontree.MST(net)
+		if err == nil {
+			var res *nontree.Result
+			switch algo {
+			case "h1":
+				res, err = nontree.H1(baseline, cfg)
+			case "h2":
+				res, err = nontree.H2(baseline, cfg)
+			default:
+				res, err = nontree.H3(baseline, cfg)
+			}
+			if err == nil {
+				final, added = res.Topology, res.AddedEdges
+			}
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("net: %d pins (source + %d sinks)\n", net.NumPins(), net.NumSinks())
+	if baseline != nil {
+		rep, err := nontree.MeasureDelay(baseline, params)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("seed topology:   max delay %8.3f ns   wirelength %9.0f µm\n",
+			rep.Max*1e9, rep.Wirelength)
+	}
+	rep, err := nontree.MeasureDelay(final, params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s result: max delay %8.3f ns   wirelength %9.0f µm   %d wire crossing(s)\n",
+		algo, rep.Max*1e9, rep.Wirelength, nontree.Crossings(final))
+	if baseline != nil {
+		base, err := nontree.MeasureDelay(baseline, params)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vs seed: delay ×%.3f (%.1f%% better), wire ×%.3f (+%.1f%%), %d added edge(s)\n",
+			rep.Max/base.Max, 100*(1-rep.Max/base.Max),
+			rep.Wirelength/base.Wirelength, 100*(rep.Wirelength/base.Wirelength-1),
+			len(added))
+		for _, e := range added {
+			fmt.Printf("  added wire %v: %.0f µm\n", e, final.EdgeLength(e))
+		}
+	}
+
+	if svgOut != "" {
+		f, err := os.Create(svgOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := viz.SVG(f, final, added, viz.DefaultStyle()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", svgOut)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nontree"
+)
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"mst", "steiner", "ert", "sert", "ldrg", "sldrg", "h1", "h2", "h3", "ert-ldrg"} {
+		if err := run("", 8, 3, algo, "elmore", 1, ""); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.svg")
+	if err := run("", 6, 1, "ldrg", "elmore", 1, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("SVG output malformed")
+	}
+}
+
+func TestRunFromNetFile(t *testing.T) {
+	dir := t.TempDir()
+	net, err := nontree.GenerateNet(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "net.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(path, 0, 0, "mst", "elmore", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Text format path.
+	tpath := filepath.Join(dir, "net.net")
+	tf, err := os.Create(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.WriteText(tf); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+	if err := run(tpath, 0, 0, "mst", "elmore", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, 0, "mst", "elmore", 0, ""); err == nil {
+		t.Error("no net source must fail")
+	}
+	if err := run("x.json", 5, 0, "mst", "elmore", 0, ""); err == nil {
+		t.Error("both -net and -gen must fail")
+	}
+	if err := run("", 5, 0, "warp-drive", "elmore", 0, ""); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+	if err := run("/nonexistent/net.json", 0, 0, "mst", "elmore", 0, ""); err == nil {
+		t.Error("missing file must fail")
+	}
+}

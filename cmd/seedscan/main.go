@@ -1,0 +1,97 @@
+// Command seedscan searches random-net seeds for nets that make good
+// illustrative examples — the tool used to select the Figure workload seeds
+// in internal/expt (see the comment on Figure1Seed).
+//
+// For each seed it builds the MST, runs single-edge (or two-edge) LDRG with
+// the Elmore search oracle, measures delays with the transient simulator,
+// and prints seeds whose delay/cost ratios fall inside the requested bands.
+//
+// Usage:
+//
+//	seedscan -pins 10 -max-delay-ratio 0.70 -max-cost-ratio 1.25 -n 200
+//	seedscan -pins 10 -steiner            # scan for SLDRG examples
+//	seedscan -pins 10 -edges 2            # scan for two-iteration traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nontree/internal/core"
+	"nontree/internal/expt"
+	"nontree/internal/mst"
+	"nontree/internal/netlist"
+	"nontree/internal/steiner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seedscan: ")
+
+	var (
+		pins          = flag.Int("pins", 10, "net size (pin count)")
+		count         = flag.Int("n", 200, "number of seeds to scan")
+		start         = flag.Int64("start", 0, "first seed")
+		edges         = flag.Int("edges", 1, "LDRG edge budget (0 = to convergence)")
+		useSteiner    = flag.Bool("steiner", false, "scan SLDRG over Steiner seeds instead of LDRG over MSTs")
+		maxDelayRatio = flag.Float64("max-delay-ratio", 0.80, "report seeds with final/baseline delay at or below this")
+		maxCostRatio  = flag.Float64("max-cost-ratio", 1.30, "report seeds with final/baseline cost at or below this")
+	)
+	flag.Parse()
+
+	cfg := expt.Default()
+	if err := run(cfg, *pins, *count, *start, *edges, *useSteiner, *maxDelayRatio, *maxCostRatio); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg expt.Config, pins, count int, start int64, edges int, useSteiner bool, maxDelay, maxCost float64) error {
+	oracle := &core.ElmoreOracle{Params: cfg.Params}
+	opts := core.Options{Oracle: oracle, MaxAddedEdges: edges}
+
+	for seed := start; seed < start+int64(count); seed++ {
+		gen := netlist.NewGenerator(seed)
+		net, err := gen.Generate(pins)
+		if err != nil {
+			return err
+		}
+
+		var baseline, final interface {
+			Cost() float64
+		}
+		var res *core.Result
+		if useSteiner {
+			r, err := core.SLDRG(net.Pins, steiner.Options{}, opts)
+			if err != nil {
+				return err
+			}
+			res = &r.Result
+			baseline, final = r.Seed, r.Topology
+		} else {
+			seedTopo, err := mst.Prim(net.Pins)
+			if err != nil {
+				return err
+			}
+			r, err := core.LDRG(seedTopo, opts)
+			if err != nil {
+				return err
+			}
+			res = r
+			baseline, final = seedTopo, r.Topology
+		}
+		if len(res.AddedEdges) == 0 {
+			continue
+		}
+		delayRatio := res.FinalObjective / res.InitialObjective
+		costRatio := final.Cost() / baseline.Cost()
+		if delayRatio <= maxDelay && costRatio <= maxCost {
+			fmt.Fprintf(os.Stdout,
+				"seed %6d: edges +%d  delay ×%.3f (%.1f%% better)  cost ×%.3f (+%.1f%%)\n",
+				seed, len(res.AddedEdges), delayRatio, 100*(1-delayRatio),
+				costRatio, 100*(costRatio-1))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"nontree/internal/expt"
+)
+
+func TestScanLDRGRuns(t *testing.T) {
+	cfg := expt.Default()
+	if err := run(cfg, 6, 10, 0, 1, false, 0.95, 1.6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanSteinerRuns(t *testing.T) {
+	cfg := expt.Default()
+	if err := run(cfg, 6, 5, 0, 0, true, 0.95, 1.6); err != nil {
+		t.Fatal(err)
+	}
+}

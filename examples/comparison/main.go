@@ -1,0 +1,115 @@
+// Comparison: every construction in the repository on one net, side by
+// side — the tree baselines (MST, Iterated 1-Steiner, ERT, SERT) and the
+// paper's non-tree routings (H2, H3, H1, LDRG, SLDRG, ERT-seeded LDRG) —
+// with simulator-measured delays and wirelengths, reproducing in miniature
+// the comparisons behind the paper's Tables 2–7.
+//
+// Pass -svg DIR to also write one drawing per topology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"nontree"
+	"nontree/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	svgDir := flag.String("svg", "", "directory for SVG drawings (optional)")
+	seed := flag.Int64("seed", 25, "net seed")
+	pins := flag.Int("pins", 10, "net size")
+	flag.Parse()
+
+	net, err := nontree.GenerateNet(*seed, *pins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := nontree.DefaultParams()
+	cfg := nontree.Config{}
+
+	mst, err := nontree.MST(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := nontree.MeasureDelay(mst, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type entry struct {
+		name  string
+		topo  *nontree.Topology
+		added []nontree.Edge
+	}
+	var entries []entry
+	add := func(name string, topo *nontree.Topology, added []nontree.Edge, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		entries = append(entries, entry{name, topo, added})
+	}
+
+	add("MST", mst, nil, nil)
+	pd, err := nontree.PDTree(net, 0.5)
+	add("PD-tree c=0.5", pd, nil, err)
+	brbc, err := nontree.BRBC(net, 0.5)
+	add("BRBC e=0.5", brbc, nil, err)
+	star, err := nontree.PDTree(net, 1)
+	add("Star (SPT)", star, nil, err)
+	st, err := nontree.SteinerTree(net)
+	add("Steiner (I1S)", st, nil, err)
+	ertTopo, err := nontree.ERT(net, params)
+	add("ERT", ertTopo, nil, err)
+	sert, err := nontree.SERT(net, params)
+	add("SERT", sert, nil, err)
+
+	h2, err := nontree.H2(mst, cfg)
+	add("H2", h2.Topology, h2.AddedEdges, err)
+	h3, err := nontree.H3(mst, cfg)
+	add("H3", h3.Topology, h3.AddedEdges, err)
+	h1, err := nontree.H1(mst, cfg)
+	add("H1", h1.Topology, h1.AddedEdges, err)
+	ldrg, err := nontree.LDRG(mst, cfg)
+	add("LDRG", ldrg.Topology, ldrg.AddedEdges, err)
+	sldrg, err := nontree.SLDRG(net, cfg)
+	add("SLDRG", sldrg.Topology, sldrg.AddedEdges, err)
+	ertLdrg, err := nontree.LDRG(ertTopo, cfg)
+	add("ERT+LDRG", ertLdrg.Topology, ertLdrg.AddedEdges, err)
+	taps, err := nontree.LDRGWithTaps(mst, cfg)
+	add("LDRG+taps", taps.Topology, taps.AddedEdges, err)
+
+	fmt.Printf("net: %d pins, seed %d — all values normalized to the MST\n\n", *pins, *seed)
+	fmt.Printf("%-14s %10s %8s %12s %8s %6s\n", "construction", "delay(ns)", "×MST", "wire(µm)", "×MST", "+edges")
+	for _, e := range entries {
+		rep, err := nontree.MeasureDelay(e.topo, params)
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Printf("%-14s %10.3f %8.3f %12.0f %8.3f %6d\n",
+			e.name, rep.Max*1e9, rep.Max/base.Max,
+			rep.Wirelength, rep.Wirelength/base.Wirelength, len(e.added))
+	}
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			path := filepath.Join(*svgDir, e.name+".svg")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := viz.SVG(f, e.topo, e.added, viz.DefaultStyle()); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Printf("\nwrote %d drawings to %s\n", len(entries), *svgDir)
+	}
+}

@@ -1,0 +1,125 @@
+// Timing-driven iterative layout (the workflow that motivates the paper's
+// Section 5.1): a small combinational design is routed net by net, static
+// timing analysis identifies the critical path, and the one net that limits
+// the clock is re-routed with criticality-weighted non-tree routing
+// (CSORG-LDRG). The example prints the design's worst slack before and
+// after — interconnect optimization translated directly into clock period.
+//
+// Design under test (3 gates, 4 nets, ~10 pins each):
+//
+//	PI ─ net0 ─▶ G1 ─ net1 ─▶ G2 ─ net2 ─▶ G3 ─ net3 ─▶ PO
+//	               (each net also has fan-out sinks elsewhere)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nontree"
+	"nontree/sta"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	params := nontree.DefaultParams()
+	const numNets = 4
+	const pinsPerNet = 10
+
+	// Generate and route every net classically (MST).
+	nets := make([]*nontree.Net, numNets)
+	topos := make([]*nontree.Topology, numNets)
+	for i := range nets {
+		var err error
+		nets[i], err = nontree.GenerateNet(int64(100+i), pinsPerNet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topos[i], err = nontree.MST(nets[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	design := &sta.Design{
+		NumNets:   numNets,
+		SinkCount: []int{pinsPerNet - 1, pinsPerNet - 1, pinsPerNet - 1, pinsPerNet - 1},
+		NetDelay:  make([][]float64, numNets),
+		Gates: []sta.Gate{
+			{Name: "G1", Delay: 0.2e-9, FanIn: []sta.PinRef{{Net: 0, Sink: 0}}, Drives: 1},
+			{Name: "G2", Delay: 0.2e-9, FanIn: []sta.PinRef{{Net: 1, Sink: 3}}, Drives: 2},
+			{Name: "G3", Delay: 0.2e-9, FanIn: []sta.PinRef{{Net: 2, Sink: 5}}, Drives: 3},
+		},
+		PrimaryInputs:  []int{0},
+		PrimaryOutputs: []sta.PinRef{{Net: 3, Sink: 2}, {Net: 3, Sink: 7}},
+	}
+
+	measure := func() *sta.Timing {
+		for i, topo := range topos {
+			rep, err := nontree.MeasureDelay(topo, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			design.NetDelay[i] = rep.PerSink
+		}
+		timing, err := design.Analyze(12e-9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return timing
+	}
+
+	before := measure()
+	fmt.Printf("all nets MST-routed:   min clock %.3f ns, worst slack %+.3f ns\n",
+		before.WorstArrival*1e9, before.WorstSlack()*1e9)
+	if path, err := design.CriticalPath(before); err == nil {
+		fmt.Print("critical path: PI")
+		for _, el := range path {
+			if el.Gate >= 0 {
+				fmt.Printf(" → %s", design.Gates[el.Gate].Name)
+			}
+			fmt.Printf(" → net%d.sink%d", el.Net, el.Sink+1)
+		}
+		fmt.Println(" → PO")
+	}
+
+	// Iterative timing-driven layout: repeatedly let STA point at the net
+	// holding the critical-path pin, convert slacks to the paper's α
+	// weights, and re-route that one net with criticality-weighted
+	// non-tree routing. Stop when an iteration no longer helps.
+	rerouted := map[int]bool{}
+	timing := before
+	for iter := 1; iter <= numNets; iter++ {
+		criticalNet, criticalPin := sta.MostCriticalNet(timing)
+		if rerouted[criticalNet] {
+			break // this net already carries its extra wires
+		}
+		rerouted[criticalNet] = true
+
+		alphas := sta.Criticalities(timing, criticalNet, false)
+		costBefore := topos[criticalNet].Cost()
+		res, err := nontree.CriticalSinkLDRG(topos[criticalNet], alphas, nontree.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		topos[criticalNet] = res.Topology
+
+		next := measure()
+		fmt.Printf("iteration %d: critical pin net %d/sink %d → CSORG re-route "+
+			"(+%d wires, +%.0f µm) → min clock %.3f ns\n",
+			iter, criticalNet, criticalPin.Sink+1,
+			len(res.AddedEdges), res.Topology.Cost()-costBefore,
+			next.WorstArrival*1e9)
+		if next.WorstArrival >= timing.WorstArrival {
+			timing = next
+			break
+		}
+		timing = next
+	}
+
+	fmt.Printf("\nfinal:                 min clock %.3f ns, worst slack %+.3f ns\n",
+		timing.WorstArrival*1e9, timing.WorstSlack()*1e9)
+	fmt.Printf("clock period improved %.3f ns by adding wires to critical nets —\n",
+		(before.WorstArrival-timing.WorstArrival)*1e9)
+	fmt.Println("the Section 5.1 workflow: placement → STA → critical-sink non-tree routing, iterated.")
+}

@@ -1,0 +1,3 @@
+module nontree
+
+go 1.22

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestCleanupOnTreeRemovesNothing(t *testing.T) {
+	topo := randomMST(t, 3, 10)
+	res, err := Cleanup(topo, 0, Options{Oracle: elmoreOracle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RemovedEdges) != 0 {
+		t.Errorf("tree edges are bridges; removed %v", res.RemovedEdges)
+	}
+	if res.CostRecovered != 0 {
+		t.Errorf("recovered %v from a tree", res.CostRecovered)
+	}
+}
+
+func TestCleanupNeverWorsensBeyondSlack(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		topo := randomMST(t, seed, 15)
+		ldrg, err := LDRG(topo, Options{Oracle: elmoreOracle()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Cleanup(ldrg.Topology, 0.05, Options{Oracle: elmoreOracle()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FinalObjective > res.InitialObjective*1.05+1e-18 {
+			t.Errorf("seed %d: cleanup exceeded slack: %.4g → %.4g",
+				seed, res.InitialObjective, res.FinalObjective)
+		}
+		if !res.Topology.Connected() {
+			t.Fatalf("seed %d: cleanup disconnected the net", seed)
+		}
+		if res.CostRecovered > 0 && len(res.RemovedEdges) == 0 {
+			t.Error("bookkeeping mismatch")
+		}
+	}
+}
+
+func TestCleanupRecoversWireSomewhere(t *testing.T) {
+	// With a 5% delay slack, at least one net in a batch should allow some
+	// cost recovery after LDRG additions.
+	recovered := 0.0
+	for seed := int64(0); seed < 12; seed++ {
+		topo := randomMST(t, seed, 15)
+		ldrg, err := LDRG(topo, Options{Oracle: elmoreOracle()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ldrg.AddedEdges) == 0 {
+			continue
+		}
+		res, err := Cleanup(ldrg.Topology, 0.05, Options{Oracle: elmoreOracle()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recovered += res.CostRecovered
+	}
+	if recovered == 0 {
+		t.Log("no wire recovered across 12 nets (possible but atypical)")
+	}
+}
+
+func TestCleanupDoesNotMutateInput(t *testing.T) {
+	topo := randomMST(t, 5, 10)
+	ldrg, err := LDRG(topo, Options{Oracle: elmoreOracle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := ldrg.Topology.NumEdges()
+	if _, err := Cleanup(ldrg.Topology, 0.1, Options{Oracle: elmoreOracle()}); err != nil {
+		t.Fatal(err)
+	}
+	if ldrg.Topology.NumEdges() != edges {
+		t.Error("cleanup mutated its input")
+	}
+}
+
+func TestCleanupValidation(t *testing.T) {
+	topo := randomMST(t, 1, 5)
+	if _, err := Cleanup(topo, -1, Options{Oracle: elmoreOracle()}); err == nil {
+		t.Error("negative slack must be rejected")
+	}
+	if _, err := Cleanup(nil, 0, Options{Oracle: elmoreOracle()}); err != ErrSeedNil {
+		t.Error("nil seed must be rejected")
+	}
+	if _, err := Cleanup(topo, 0, Options{}); err != ErrNilOracle {
+		t.Error("nil oracle must be rejected")
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nontree/internal/graph"
+	"nontree/internal/rc"
+)
+
+// Options configures the LDRG greedy loop and the heuristics.
+type Options struct {
+	// Oracle estimates delays; required.
+	Oracle DelayOracle
+	// Objective scores a topology; nil selects MaxDelayObjective (the ORG
+	// problem). Supplying WeightedDelayObjective yields the CSORG variant.
+	Objective Objective
+	// MaxAddedEdges bounds how many edges the greedy loop may add; 0 means
+	// run to convergence (the paper's termination: "when no further delay
+	// improvement is possible").
+	MaxAddedEdges int
+	// MinImprovement is the minimum relative objective improvement an edge
+	// must deliver to be accepted (guards against floating-point noise
+	// accepting meaningless edges). Default 1e-9.
+	MinImprovement float64
+	// Width supplies wire widths to the oracle (nil = unit widths). The
+	// greedy loop holds widths fixed; see WireSize for width optimization.
+	Width rc.WidthFunc
+	// CandidateFilter, when non-nil, vetoes candidate edges before they
+	// are evaluated: return false to exclude the edge. The topology passed
+	// in is the current routing *without* the candidate. Use it for
+	// routability constraints — e.g. embed.PlanarFilter rejects edges
+	// whose rectilinear embedding would cross existing wires.
+	CandidateFilter func(t *graph.Topology, e graph.Edge) bool
+}
+
+func (o *Options) objective() Objective {
+	if o.Objective == nil {
+		return MaxDelayObjective{}
+	}
+	return o.Objective
+}
+
+func (o *Options) minImprovement() float64 {
+	if o.MinImprovement <= 0 {
+		return 1e-9
+	}
+	return o.MinImprovement
+}
+
+// Result reports an algorithm run.
+type Result struct {
+	// Topology is the final routing graph (the seed topology is never
+	// mutated; Topology is an independent copy).
+	Topology *graph.Topology
+	// AddedEdges lists the accepted extra edges in acceptance order.
+	AddedEdges []graph.Edge
+	// InitialObjective and FinalObjective are oracle scores of the seed and
+	// final topologies.
+	InitialObjective, FinalObjective float64
+	// Trace holds the objective after the seed and after each accepted edge
+	// (len == len(AddedEdges)+1).
+	Trace []float64
+	// Evaluations counts oracle invocations, the dominant cost.
+	Evaluations int
+}
+
+// Improved reports whether the run strictly improved on the seed.
+func (r *Result) Improved() bool { return r.FinalObjective < r.InitialObjective }
+
+// errors from algorithm entry points.
+var (
+	ErrNilOracle   = errors.New("core: Options.Oracle must not be nil")
+	ErrSeedNil     = errors.New("core: seed topology must not be nil")
+	ErrSeedInvalid = errors.New("core: seed topology must be connected")
+)
+
+// LDRG runs the Low Delay Routing Graph algorithm (paper Figure 4): starting
+// from the seed topology (classically the MST), repeatedly add the absent
+// edge that most improves the objective, until no edge improves it.
+//
+// The paper's formulation evaluates t(·) with SPICE; the oracle choice in
+// opts selects between that reference behaviour and the fast Elmore model.
+func LDRG(seed *graph.Topology, opts Options) (*Result, error) {
+	if err := checkSeed(seed, &opts); err != nil {
+		return nil, err
+	}
+	t := seed.Clone()
+	obj := opts.objective()
+
+	res := &Result{Topology: t}
+	cur, err := score(t, &opts, obj, res)
+	if err != nil {
+		return nil, fmt.Errorf("core: scoring seed topology: %w", err)
+	}
+	res.InitialObjective = cur
+	res.Trace = append(res.Trace, cur)
+
+	for {
+		if opts.MaxAddedEdges > 0 && len(res.AddedEdges) >= opts.MaxAddedEdges {
+			break
+		}
+		bestEdge, bestVal, found, err := bestAddition(t, &opts, obj, cur, res)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			break
+		}
+		if err := t.AddEdge(bestEdge); err != nil {
+			return nil, fmt.Errorf("core: committing edge %v: %w", bestEdge, err)
+		}
+		res.AddedEdges = append(res.AddedEdges, bestEdge)
+		res.Trace = append(res.Trace, bestVal)
+		cur = bestVal
+	}
+
+	res.FinalObjective = cur
+	return res, nil
+}
+
+// bestAddition scans every absent edge, returning the one with the lowest
+// objective if it beats cur by the improvement threshold.
+func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, float64, bool, error) {
+	bestVal := cur
+	var bestEdge graph.Edge
+	found := false
+	threshold := cur * (1 - opts.minImprovement())
+
+	for _, e := range t.AbsentEdges() {
+		// Edges to isolated Steiner nodes are dead stubs: they only add
+		// capacitance (or even disconnect islands). Such nodes exist while
+		// LDRGWithTaps evaluates tap candidates.
+		if (t.IsSteiner(e.U) && t.Degree(e.U) == 0) ||
+			(t.IsSteiner(e.V) && t.Degree(e.V) == 0) {
+			continue
+		}
+		if opts.CandidateFilter != nil && !opts.CandidateFilter(t, e) {
+			continue
+		}
+		if err := t.AddEdge(e); err != nil {
+			return graph.Edge{}, 0, false, fmt.Errorf("core: trying edge %v: %w", e, err)
+		}
+		val, err := score(t, opts, obj, res)
+		rmErr := t.RemoveEdge(e)
+		if err != nil {
+			return graph.Edge{}, 0, false, fmt.Errorf("core: evaluating edge %v: %w", e, err)
+		}
+		if rmErr != nil {
+			return graph.Edge{}, 0, false, fmt.Errorf("core: reverting edge %v: %w", e, rmErr)
+		}
+		if val < bestVal && val < threshold {
+			bestVal = val
+			bestEdge = e
+			found = true
+		}
+	}
+	return bestEdge, bestVal, found, nil
+}
+
+func score(t *graph.Topology, opts *Options, obj Objective, res *Result) (float64, error) {
+	delays, err := opts.Oracle.SinkDelays(t, opts.Width)
+	if err != nil {
+		return 0, err
+	}
+	res.Evaluations++
+	return obj.Eval(delays, t.NumPins())
+}
+
+func checkSeed(seed *graph.Topology, opts *Options) error {
+	if seed == nil {
+		return ErrSeedNil
+	}
+	if opts.Oracle == nil {
+		return ErrNilOracle
+	}
+	if !seed.Connected() {
+		return ErrSeedInvalid
+	}
+	return nil
+}

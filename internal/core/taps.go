@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+)
+
+// LDRGWithTaps generalizes the LDRG greedy loop toward the paper's full
+// SORG formulation: besides edges between existing nodes, each iteration
+// also considers *tap* candidates — a new wire from the source to a fresh
+// Steiner point on an existing edge (the point of the edge's bounding box
+// closest to the source), splitting that edge. The paper's SLDRG only adds
+// edges among existing nodes; taps let a shortcut land mid-edge, which is
+// frequently where the resistive bottleneck actually is.
+//
+// Each accepted tap adds one Steiner node and replaces one edge by two
+// cost-neutral halves plus the new wire, so the wirelength penalty of a
+// tap is exactly the new wire's length.
+func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
+	if err := checkSeed(seed, &opts); err != nil {
+		return nil, err
+	}
+	t := seed.Clone()
+	obj := opts.objective()
+
+	res := &Result{Topology: t}
+	cur, err := score(t, &opts, obj, res)
+	if err != nil {
+		return nil, fmt.Errorf("core: scoring seed topology: %w", err)
+	}
+	res.InitialObjective = cur
+	res.Trace = append(res.Trace, cur)
+
+	for {
+		if opts.MaxAddedEdges > 0 && len(res.AddedEdges) >= opts.MaxAddedEdges {
+			break
+		}
+		// Plain edge candidates.
+		bestEdge, bestVal, foundEdge, err := bestAddition(t, &opts, obj, cur, res)
+		if err != nil {
+			return nil, err
+		}
+		// Tap candidates.
+		tapEdge, tapPoint, tapVal, foundTap, err := bestTap(t, &opts, obj, cur, res)
+		if err != nil {
+			return nil, err
+		}
+
+		switch {
+		case foundTap && (!foundEdge || tapVal < bestVal):
+			added, err := applyTap(t, tapEdge, tapPoint)
+			if err != nil {
+				return nil, err
+			}
+			res.AddedEdges = append(res.AddedEdges, added)
+			res.Trace = append(res.Trace, tapVal)
+			cur = tapVal
+		case foundEdge:
+			if err := t.AddEdge(bestEdge); err != nil {
+				return nil, fmt.Errorf("core: committing edge %v: %w", bestEdge, err)
+			}
+			res.AddedEdges = append(res.AddedEdges, bestEdge)
+			res.Trace = append(res.Trace, bestVal)
+			cur = bestVal
+		default:
+			res.FinalObjective = cur
+			return compactTapResult(res)
+		}
+	}
+	res.FinalObjective = cur
+	return compactTapResult(res)
+}
+
+// compactTapResult drops the isolated Steiner nodes left behind by tap
+// evaluation (they carry no wire) and remaps the recorded edges.
+func compactTapResult(res *Result) (*Result, error) {
+	compacted, remap := res.Topology.Compact()
+	for i, e := range res.AddedEdges {
+		u, v := remap[e.U], remap[e.V]
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("core: tap bookkeeping lost edge %v", e)
+		}
+		res.AddedEdges[i] = graph.Edge{U: u, V: v}.Canon()
+	}
+	res.Topology = compacted
+	return res, nil
+}
+
+// bestTap evaluates, for every existing edge, the tap from the source to
+// the closest point of the edge's bounding box, returning the best
+// improving candidate.
+func bestTap(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, geom.Point, float64, bool, error) {
+	src := t.Point(0)
+	bestVal := cur
+	threshold := cur * (1 - opts.minImprovement())
+	var bestEdge graph.Edge
+	var bestPoint geom.Point
+	found := false
+
+	for _, e := range t.Edges() {
+		a, b := t.Point(e.U), t.Point(e.V)
+		p := geom.Point{
+			X: clampF(src.X, math.Min(a.X, b.X), math.Max(a.X, b.X)),
+			Y: clampF(src.Y, math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)),
+		}
+		// Degenerate taps reduce to plain edges (handled by bestAddition)
+		// or to nothing.
+		if p.Eq(a) || p.Eq(b) || p.Eq(src) {
+			continue
+		}
+		val, err := evalTap(t, opts, obj, res, e, p)
+		if err != nil {
+			return graph.Edge{}, geom.Point{}, 0, false, err
+		}
+		if val < bestVal && val < threshold {
+			bestVal = val
+			bestEdge = e
+			bestPoint = p
+			found = true
+		}
+	}
+	return bestEdge, bestPoint, bestVal, found, nil
+}
+
+// evalTap scores the topology with edge e split at p and the source wired
+// to the split point, then restores the topology exactly.
+func evalTap(t *graph.Topology, opts *Options, obj Objective, res *Result, e graph.Edge, p geom.Point) (float64, error) {
+	// Mutate: the Steiner node stays allocated after restore (isolated
+	// nodes are ignored by delay models and compacted at the end), so
+	// evaluation cost stays O(1) allocations per candidate.
+	s := t.AddSteinerNode(p)
+	if err := t.RemoveEdge(e); err != nil {
+		return 0, err
+	}
+	restore := func() error {
+		for _, ne := range [](graph.Edge){{U: e.U, V: s}, {U: s, V: e.V}, {U: 0, V: s}} {
+			if t.HasEdge(ne) {
+				if err := t.RemoveEdge(ne); err != nil {
+					return err
+				}
+			}
+		}
+		return t.AddEdge(e)
+	}
+	for _, ne := range [](graph.Edge){{U: e.U, V: s}, {U: s, V: e.V}, {U: 0, V: s}} {
+		if err := t.AddEdge(ne); err != nil {
+			_ = restore()
+			return 0, fmt.Errorf("core: tap edge %v: %w", ne, err)
+		}
+	}
+	val, err := score(t, opts, obj, res)
+	if rerr := restore(); rerr != nil {
+		return 0, fmt.Errorf("core: restoring after tap evaluation: %w", rerr)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: evaluating tap on %v: %w", e, err)
+	}
+	return val, nil
+}
+
+// applyTap commits a tap permanently and returns the new source wire.
+func applyTap(t *graph.Topology, e graph.Edge, p geom.Point) (graph.Edge, error) {
+	s := t.AddSteinerNode(p)
+	if err := t.RemoveEdge(e); err != nil {
+		return graph.Edge{}, err
+	}
+	for _, ne := range [](graph.Edge){{U: e.U, V: s}, {U: s, V: e.V}, {U: 0, V: s}} {
+		if err := t.AddEdge(ne); err != nil {
+			return graph.Edge{}, fmt.Errorf("core: committing tap: %w", err)
+		}
+	}
+	return graph.Edge{U: 0, V: s}.Canon(), nil
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

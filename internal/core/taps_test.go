@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestLDRGWithTapsNeverWorseThanPlainLDRG(t *testing.T) {
+	// Taps strictly enlarge the candidate space, and both greedies accept
+	// only improving moves, so the tap variant's final objective must not
+	// exceed plain LDRG's initial-to-final envelope; per-step greediness
+	// means the final values can differ either way in principle, but the
+	// tap run must at minimum never worsen its own seed.
+	better, worse := 0, 0
+	for seed := int64(0); seed < 8; seed++ {
+		topo := randomMST(t, seed, 12)
+		plain, err := LDRG(topo, Options{Oracle: elmoreOracle()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		taps, err := LDRGWithTaps(topo, Options{Oracle: elmoreOracle()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if taps.FinalObjective > taps.InitialObjective {
+			t.Errorf("seed %d: tap variant worsened its seed", seed)
+		}
+		switch {
+		case taps.FinalObjective < plain.FinalObjective*(1-1e-9):
+			better++
+		case taps.FinalObjective > plain.FinalObjective*(1+1e-9):
+			worse++
+		}
+	}
+	t.Logf("taps vs plain over 8 nets: %d better, %d worse", better, worse)
+	if better == 0 && worse > 0 {
+		t.Error("tap candidates never helped and sometimes hurt; expected the opposite trend")
+	}
+}
+
+func TestLDRGWithTapsProducesValidTopology(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		topo := randomMST(t, seed, 10)
+		res, err := LDRGWithTaps(topo, Options{Oracle: elmoreOracle()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Topology.Connected() {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+		// No isolated Steiner nodes may survive compaction.
+		for n := res.Topology.NumPins(); n < res.Topology.NumNodes(); n++ {
+			if res.Topology.Degree(n) == 0 {
+				t.Fatalf("seed %d: isolated Steiner node %d survived", seed, n)
+			}
+		}
+		// Pins preserved in order.
+		for n := 0; n < topo.NumPins(); n++ {
+			if !res.Topology.Point(n).Eq(topo.Point(n)) {
+				t.Fatalf("seed %d: pin %d moved", seed, n)
+			}
+		}
+		// Every recorded added edge exists in the final topology.
+		for _, e := range res.AddedEdges {
+			if !res.Topology.HasEdge(e) {
+				t.Fatalf("seed %d: recorded edge %v missing", seed, e)
+			}
+		}
+	}
+}
+
+func TestLDRGWithTapsSeedUnchanged(t *testing.T) {
+	topo := randomMST(t, 3, 10)
+	edges, cost := topo.NumEdges(), topo.Cost()
+	if _, err := LDRGWithTaps(topo, Options{Oracle: elmoreOracle()}); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumEdges() != edges || topo.Cost() != cost || topo.NumNodes() != 10 {
+		t.Error("seed topology mutated")
+	}
+}
+
+func TestLDRGWithTapsEdgeBudget(t *testing.T) {
+	topo := randomMST(t, 7, 15)
+	res, err := LDRGWithTaps(topo, Options{Oracle: elmoreOracle(), MaxAddedEdges: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AddedEdges) > 1 {
+		t.Errorf("budget exceeded: %v", res.AddedEdges)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nontree/internal/graph"
+	"nontree/internal/rc"
+)
+
+// WireSizeOptions configures the WSORG greedy width optimizer.
+type WireSizeOptions struct {
+	// Oracle estimates delays; required.
+	Oracle DelayOracle
+	// Objective scores the topology; nil selects MaxDelayObjective.
+	Objective Objective
+	// MaxWidth is the largest width on the discrete grid (paper Section
+	// 5.2: "in most practical applications a discrete grid is used, and
+	// thus the range of w may be restricted to the integers"). Default 4.
+	MaxWidth int
+	// MinImprovement is the relative improvement threshold per widening
+	// step; default 1e-9.
+	MinImprovement float64
+	// CostWeight optionally penalizes the capacitance cost of widening:
+	// the optimizer maximizes delay improvement per unit of added
+	// width-length product when > 0. Zero means pure delay descent.
+	CostWeight float64
+}
+
+// WireSizeResult reports a WSORG run.
+type WireSizeResult struct {
+	// Widths maps every edge to its final width (unit edges included).
+	Widths map[graph.Edge]int
+	// InitialObjective and FinalObjective bracket the optimization.
+	InitialObjective, FinalObjective float64
+	// Widenings counts accepted width increments.
+	Widenings int
+	// Evaluations counts oracle invocations.
+	Evaluations int
+}
+
+// WidthFunc converts the integer width assignment into the rc.WidthFunc
+// consumed by circuit construction.
+func (r *WireSizeResult) WidthFunc() rc.WidthFunc {
+	return func(e graph.Edge) float64 {
+		if w, ok := r.Widths[e.Canon()]; ok {
+			return float64(w)
+		}
+		return 1
+	}
+}
+
+// WireSize greedily optimizes the WSORG width function (paper Section 5.2)
+// over a fixed routing graph: repeatedly widen the single edge whose
+// one-step widening most improves the objective, until no widening helps or
+// every edge is at MaxWidth. Width w scales edge resistance by 1/w and
+// capacitance by w — the first-order model under which "two separate
+// parallel wires of width w ... [are] equivalent to a single wire of width
+// 2w" as the paper observes.
+func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) {
+	if t == nil {
+		return nil, ErrSeedNil
+	}
+	if opts.Oracle == nil {
+		return nil, ErrNilOracle
+	}
+	if !t.Connected() {
+		return nil, ErrSeedInvalid
+	}
+	maxW := opts.MaxWidth
+	if maxW <= 0 {
+		maxW = 4
+	}
+	if maxW == 1 {
+		return nil, errors.New("core: MaxWidth of 1 leaves nothing to optimize")
+	}
+	obj := opts.Objective
+	if obj == nil {
+		obj = MaxDelayObjective{}
+	}
+	minImp := opts.MinImprovement
+	if minImp <= 0 {
+		minImp = 1e-9
+	}
+
+	widths := make(map[graph.Edge]int, t.NumEdges())
+	for _, e := range t.Edges() {
+		widths[e] = 1
+	}
+	res := &WireSizeResult{Widths: widths}
+	widthFn := func(e graph.Edge) float64 { return float64(widths[e.Canon()]) }
+
+	eval := func() (float64, error) {
+		delays, err := opts.Oracle.SinkDelays(t, widthFn)
+		if err != nil {
+			return 0, err
+		}
+		res.Evaluations++
+		return obj.Eval(delays, t.NumPins())
+	}
+
+	cur, err := eval()
+	if err != nil {
+		return nil, fmt.Errorf("core: WSORG initial evaluation: %w", err)
+	}
+	res.InitialObjective = cur
+
+	for {
+		bestEdge := graph.Edge{U: -1, V: -1}
+		bestVal := cur
+		bestGainRate := 0.0
+		for _, e := range t.Edges() {
+			if widths[e] >= maxW {
+				continue
+			}
+			widths[e]++
+			val, err := eval()
+			widths[e]--
+			if err != nil {
+				return nil, fmt.Errorf("core: WSORG widening %v: %w", e, err)
+			}
+			if val >= cur*(1-minImp) {
+				continue
+			}
+			if opts.CostWeight > 0 {
+				// Benefit per unit of extra metal (width-length product).
+				rate := (cur - val) / (opts.CostWeight * t.EdgeLength(e))
+				if rate > bestGainRate {
+					bestGainRate = rate
+					bestEdge = e
+					bestVal = val
+				}
+			} else if val < bestVal {
+				bestEdge = e
+				bestVal = val
+			}
+		}
+		if bestEdge.U < 0 {
+			break
+		}
+		widths[bestEdge]++
+		res.Widenings++
+		cur = bestVal
+	}
+
+	res.FinalObjective = cur
+	return res, nil
+}
+
+// MetalArea returns the width-weighted wirelength Σ w(e)·len(e) of the
+// topology under a width assignment — the WSORG analogue of routing cost.
+func MetalArea(t *graph.Topology, widths map[graph.Edge]int) float64 {
+	var sum float64
+	for _, e := range t.Edges() {
+		w := widths[e]
+		if w <= 0 {
+			w = 1
+		}
+		sum += float64(w) * t.EdgeLength(e)
+	}
+	return sum
+}

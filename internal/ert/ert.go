@@ -1,0 +1,165 @@
+// Package ert implements the Elmore Routing Tree construction of Boese,
+// Kahng, McCoy and Robins ("Towards Optimal Routing Trees"), the
+// best-known-delay tree baseline against which the paper compares its
+// non-tree routings (Tables 6 and 7).
+//
+// ERT is a greedy Prim-like growth: starting from the source, repeatedly
+// attach the (unconnected pin, tree node) pair whose new edge minimizes the
+// maximum Elmore delay over all sinks connected so far. Boese et al. report
+// ERT delay averages within ~2% of the optimal routing tree.
+//
+// A Steiner variant (SERT) is also provided: each attachment may create a
+// Steiner junction at the closest point of an existing edge's bounding box,
+// following the cited construction.
+package ert
+
+import (
+	"errors"
+	"math"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+	"nontree/internal/rc"
+)
+
+// ErrTooFewPins is returned for nets with fewer than two pins.
+var ErrTooFewPins = errors.New("ert: need at least two pins")
+
+// Build constructs the Elmore Routing Tree over the pins (pins[0] is the
+// source) under the given technology parameters.
+func Build(pins []geom.Point, p rc.Params) (*graph.Topology, error) {
+	if len(pins) < 2 {
+		return nil, ErrTooFewPins
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(pins)
+	st := newTreeState(pins, p)
+
+	inTree := make([]bool, n)
+	inTree[0] = true
+	treeNodes := []int{0}
+
+	for added := 1; added < n; added++ {
+		bestDelay := math.Inf(1)
+		bestPin, bestVia := -1, -1
+		for pin := 0; pin < n; pin++ {
+			if inTree[pin] {
+				continue
+			}
+			for _, via := range treeNodes {
+				d := st.evalAttach(pin, via)
+				if d < bestDelay {
+					bestDelay = d
+					bestPin, bestVia = pin, via
+				}
+			}
+		}
+		if bestPin < 0 {
+			return nil, errors.New("ert: internal error: no attachment found")
+		}
+		st.attach(bestPin, bestVia)
+		inTree[bestPin] = true
+		treeNodes = append(treeNodes, bestPin)
+	}
+
+	t := graph.NewTopology(pins)
+	for pin := 1; pin < n; pin++ {
+		if err := t.AddEdge(graph.Edge{U: st.parent[pin], V: pin}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// treeState tracks a partially built tree over a fixed point set and
+// evaluates Elmore delay of tentative attachments in O(k) each without
+// allocation.
+type treeState struct {
+	pts    []geom.Point
+	p      rc.Params
+	parent []int // parent[i] = parent pin index; -1 for source, -2 unattached
+
+	// Scratch arrays reused across evaluations.
+	children [][]int
+	subCap   []float64
+	delay    []float64
+	order    []int
+}
+
+func newTreeState(pts []geom.Point, p rc.Params) *treeState {
+	n := len(pts)
+	st := &treeState{
+		pts:      pts,
+		p:        p,
+		parent:   make([]int, n),
+		children: make([][]int, n),
+		subCap:   make([]float64, n),
+		delay:    make([]float64, n),
+		order:    make([]int, 0, n),
+	}
+	for i := range st.parent {
+		st.parent[i] = -2
+	}
+	st.parent[0] = -1
+	return st
+}
+
+func (st *treeState) attach(pin, via int) {
+	st.parent[pin] = via
+	st.children[via] = append(st.children[via], pin)
+}
+
+// evalAttach returns the maximum Elmore sink delay of the current tree with
+// pin tentatively attached under via.
+func (st *treeState) evalAttach(pin, via int) float64 {
+	st.attach(pin, via)
+	d := st.maxSinkDelay()
+	// Detach.
+	st.parent[pin] = -2
+	cs := st.children[via]
+	st.children[via] = cs[:len(cs)-1]
+	return d
+}
+
+// maxSinkDelay computes Elmore delays of the attached subtree (Eq. 1 with
+// the lumped π model) and returns the worst sink delay.
+func (st *treeState) maxSinkDelay() float64 {
+	// BFS order from the source over attached nodes.
+	st.order = st.order[:0]
+	st.order = append(st.order, 0)
+	for i := 0; i < len(st.order); i++ {
+		n := st.order[i]
+		st.order = append(st.order, st.children[n]...)
+	}
+
+	// Node capacitance: pin load plus half of each incident edge's wire cap.
+	for _, n := range st.order {
+		st.subCap[n] = st.p.SinkCapacitance
+	}
+	for _, n := range st.order {
+		if par := st.parent[n]; par >= 0 {
+			halfC := st.p.WireCapacitance * geom.Dist(st.pts[n], st.pts[par]) / 2
+			st.subCap[n] += halfC
+			st.subCap[par] += halfC
+		}
+	}
+	// Post-order accumulation (reverse BFS order).
+	for i := len(st.order) - 1; i > 0; i-- {
+		n := st.order[i]
+		st.subCap[st.parent[n]] += st.subCap[n]
+	}
+	// Pre-order delay propagation.
+	st.delay[0] = st.p.DriverResistance * st.subCap[0]
+	worst := 0.0
+	for _, n := range st.order[1:] {
+		par := st.parent[n]
+		r := st.p.WireResistance * geom.Dist(st.pts[n], st.pts[par])
+		st.delay[n] = st.delay[par] + r*st.subCap[n]
+		if st.delay[n] > worst {
+			worst = st.delay[n]
+		}
+	}
+	return worst
+}

@@ -1,0 +1,283 @@
+package ert
+
+import (
+	"errors"
+	"math"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+	"nontree/internal/rc"
+)
+
+// BuildSteiner constructs a Steiner Elmore Routing Tree (SERT): like Build,
+// but each attachment may instead create a Steiner junction on an existing
+// tree edge, splitting it. The junction considered for pin p on edge (a,b)
+// is the closest point of the edge's bounding box to p — the point that
+// minimizes the new wire's length while keeping the split cost-neutral
+// (d(a,s) + d(s,b) = d(a,b) for any s in the bounding box).
+func BuildSteiner(pins []geom.Point, p rc.Params) (*graph.Topology, error) {
+	if len(pins) < 2 {
+		return nil, ErrTooFewPins
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	numPins := len(pins)
+
+	st := newDynState(pins, p)
+
+	inTree := make([]bool, numPins)
+	inTree[0] = true
+
+	for added := 1; added < numPins; added++ {
+		bestDelay := math.Inf(1)
+		bestPin := -1
+		var bestPlan attachPlan
+		for pin := 0; pin < numPins; pin++ {
+			if inTree[pin] {
+				continue
+			}
+			plan, d := st.bestAttachment(pin)
+			if d < bestDelay {
+				bestDelay = d
+				bestPin = pin
+				bestPlan = plan
+			}
+		}
+		if bestPin < 0 {
+			return nil, errors.New("ert: internal error: SERT found no attachment")
+		}
+		st.apply(bestPin, bestPlan)
+		inTree[bestPin] = true
+	}
+
+	return st.topology(numPins)
+}
+
+// attachPlan describes how a pin joins the tree: either directly under an
+// existing node (splitEdge == false) or via a new Steiner point splitting
+// the edge from splitChild to its parent at location junction.
+type attachPlan struct {
+	splitEdge  bool
+	via        int        // direct attachment target (when !splitEdge)
+	splitChild int        // child endpoint of the split edge
+	junction   geom.Point // Steiner point location
+}
+
+// dynState is treeState generalized to a growing point set (Steiner points
+// appended on demand).
+type dynState struct {
+	pts      []geom.Point
+	p        rc.Params
+	numPins  int
+	parent   []int
+	children [][]int
+	attached []bool
+}
+
+func newDynState(pins []geom.Point, p rc.Params) *dynState {
+	n := len(pins)
+	st := &dynState{
+		pts:      append([]geom.Point(nil), pins...),
+		p:        p,
+		numPins:  n,
+		parent:   make([]int, n),
+		children: make([][]int, n),
+		attached: make([]bool, n),
+	}
+	for i := range st.parent {
+		st.parent[i] = -2
+	}
+	st.parent[0] = -1
+	st.attached[0] = true
+	return st
+}
+
+// bestAttachment scans direct and edge-splitting attachments for pin,
+// returning the best plan and its max-Elmore delay.
+func (st *dynState) bestAttachment(pin int) (attachPlan, float64) {
+	best := math.Inf(1)
+	var plan attachPlan
+
+	// Direct attachments to every attached node.
+	for v := range st.pts {
+		if !st.attached[v] {
+			continue
+		}
+		d := st.evalDirect(pin, v)
+		if d < best {
+			best = d
+			plan = attachPlan{via: v}
+		}
+	}
+	// Splitting attachments on every tree edge (child → parent).
+	for child := range st.pts {
+		if !st.attached[child] || st.parent[child] < 0 {
+			continue
+		}
+		a, b := st.pts[child], st.pts[st.parent[child]]
+		s := closestInBBox(st.pts[pin], a, b)
+		if s.Eq(a) || s.Eq(b) || s.Eq(st.pts[pin]) {
+			continue // degenerates to a direct attachment
+		}
+		d := st.evalSplit(pin, child, s)
+		if d < best {
+			best = d
+			plan = attachPlan{splitEdge: true, splitChild: child, junction: s}
+		}
+	}
+	return plan, best
+}
+
+// closestInBBox returns the point of the bounding box of a and b closest
+// (in Manhattan distance) to p — clamping each coordinate independently.
+func closestInBBox(p, a, b geom.Point) geom.Point {
+	return geom.Point{
+		X: clamp(p.X, math.Min(a.X, b.X), math.Max(a.X, b.X)),
+		Y: clamp(p.Y, math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)),
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (st *dynState) evalDirect(pin, via int) float64 {
+	st.link(pin, via)
+	d := st.maxSinkDelay()
+	st.unlink(pin, via)
+	return d
+}
+
+func (st *dynState) evalSplit(pin, child int, junction geom.Point) float64 {
+	s := st.addNode(junction)
+	par := st.parent[child]
+	st.unlink(child, par)
+	st.link(s, par)
+	st.link(child, s)
+	st.link(pin, s)
+
+	d := st.maxSinkDelay()
+
+	st.unlink(pin, s)
+	st.unlink(child, s)
+	st.unlink(s, par)
+	st.link(child, par)
+	st.dropLastNode()
+	return d
+}
+
+func (st *dynState) apply(pin int, plan attachPlan) {
+	if !plan.splitEdge {
+		st.link(pin, plan.via)
+		st.attached[pin] = true
+		return
+	}
+	s := st.addNode(plan.junction)
+	par := st.parent[plan.splitChild]
+	st.unlink(plan.splitChild, par)
+	st.link(s, par)
+	st.link(plan.splitChild, s)
+	st.link(pin, s)
+	st.attached[s] = true
+	st.attached[pin] = true
+}
+
+func (st *dynState) addNode(p geom.Point) int {
+	st.pts = append(st.pts, p)
+	st.parent = append(st.parent, -2)
+	st.children = append(st.children, nil)
+	st.attached = append(st.attached, true)
+	return len(st.pts) - 1
+}
+
+func (st *dynState) dropLastNode() {
+	last := len(st.pts) - 1
+	st.pts = st.pts[:last]
+	st.parent = st.parent[:last]
+	st.children = st.children[:last]
+	st.attached = st.attached[:last]
+}
+
+func (st *dynState) link(child, parent int) {
+	st.parent[child] = parent
+	st.children[parent] = append(st.children[parent], child)
+}
+
+func (st *dynState) unlink(child, parent int) {
+	st.parent[child] = -2
+	cs := st.children[parent]
+	for i, c := range cs {
+		if c == child {
+			st.children[parent] = append(cs[:i], cs[i+1:]...)
+			return
+		}
+	}
+}
+
+// maxSinkDelay evaluates Elmore delay over the currently linked tree and
+// returns the worst delay among *pins* reachable from the source (Steiner
+// junctions are not sinks). Unlike treeState, node counts change, so the
+// scratch arrays are sized per call.
+func (st *dynState) maxSinkDelay() float64 {
+	n := len(st.pts)
+	order := make([]int, 0, n)
+	order = append(order, 0)
+	for i := 0; i < len(order); i++ {
+		order = append(order, st.children[order[i]]...)
+	}
+
+	subCap := make([]float64, n)
+	for _, nd := range order {
+		if st.isPin(nd) {
+			subCap[nd] += st.p.SinkCapacitance
+		}
+		if par := st.parent[nd]; par >= 0 {
+			halfC := st.p.WireCapacitance * geom.Dist(st.pts[nd], st.pts[par]) / 2
+			subCap[nd] += halfC
+			subCap[par] += halfC
+		}
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		nd := order[i]
+		subCap[st.parent[nd]] += subCap[nd]
+	}
+
+	delay := make([]float64, n)
+	delay[0] = st.p.DriverResistance * subCap[0]
+	worst := 0.0
+	for _, nd := range order[1:] {
+		par := st.parent[nd]
+		r := st.p.WireResistance * geom.Dist(st.pts[nd], st.pts[par])
+		delay[nd] = delay[par] + r*subCap[nd]
+		if st.isPin(nd) && delay[nd] > worst {
+			worst = delay[nd]
+		}
+	}
+	return worst
+}
+
+// isPin reports whether node nd is an original pin. Pins occupy the first
+// numPins positions of the point list; Steiner nodes are appended after.
+func (st *dynState) isPin(nd int) bool { return nd < st.numPins }
+
+// topology converts the final tree into a graph.Topology with the given
+// pin count, pruning pass-through Steiner points.
+func (st *dynState) topology(numPins int) (*graph.Topology, error) {
+	t := graph.NewTopologyWithSteiner(st.pts[:numPins], st.pts[numPins:])
+	for nd := range st.pts {
+		if par := st.parent[nd]; par >= 0 {
+			if err := t.AddEdge(graph.Edge{U: par, V: nd}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	compacted, _ := t.Compact()
+	return compacted, nil
+}

@@ -1,0 +1,127 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSORGTargetsCriticalSink(t *testing.T) {
+	cfg := quickConfig()
+	table, err := CSORG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := table.FindSection("ORG objective (max delay)")
+	cs := table.FindSection("CSORG objective (critical sink)")
+	if org == nil || cs == nil {
+		t.Fatal("sections missing")
+	}
+	// Both must improve the critical sink on average (it is the worst
+	// Elmore sink, which the ORG objective also chases); CSORG must be at
+	// least competitive with ORG on its own target.
+	for _, size := range cfg.Sizes {
+		o := org.RowFor(size).Summary
+		c := cs.RowFor(size).Summary
+		if o.AllDelay > 1.01 {
+			t.Errorf("size %d: ORG failed to improve the critical sink (%.3f)", size, o.AllDelay)
+		}
+		if c.AllDelay > o.AllDelay+0.1 {
+			t.Errorf("size %d: CSORG (%.3f) much worse than ORG (%.3f) on the critical sink",
+				size, c.AllDelay, o.AllDelay)
+		}
+	}
+}
+
+func TestWSORGImprovesDelayForMetal(t *testing.T) {
+	cfg := quickConfig()
+	table, err := WSORG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overMST := table.FindSection("WSORG over MST")
+	if overMST == nil {
+		t.Fatal("section missing")
+	}
+	for _, size := range cfg.Sizes {
+		s := overMST.RowFor(size).Summary
+		if s.AllDelay > 1.0+1e-9 {
+			t.Errorf("size %d: sizing worsened average delay (%.3f)", size, s.AllDelay)
+		}
+		if s.AllCost < 1.0-1e-9 {
+			t.Errorf("size %d: metal area ratio %.3f below 1 (impossible)", size, s.AllCost)
+		}
+	}
+}
+
+func TestFrontierOrderings(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Trials = 3
+	entries, err := Frontier(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FrontierEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	// Structural facts that must hold regardless of randomness:
+	if m := byName["MST"]; m.DelayRatio != 1 || m.CostRatio != 1 {
+		t.Errorf("MST row must be the unit baseline: %+v", m)
+	}
+	if s := byName["Steiner (I1S)"]; s.CostRatio > 1+1e-9 {
+		t.Errorf("Steiner cost ratio %.3f above MST", s.CostRatio)
+	}
+	if st := byName["Star (SPT)"]; st.CostRatio < 1 {
+		t.Errorf("star cannot cost less than the MST: %.3f", st.CostRatio)
+	}
+	// LDRG must not be slower than the MST on average.
+	if l := byName["LDRG"]; l.DelayRatio > 1+1e-9 {
+		t.Errorf("LDRG average delay ratio %.3f above 1", l.DelayRatio)
+	}
+	// PD-tree cost must be monotone in c.
+	c25 := byName["PD-tree c=0.25"].CostRatio
+	c75 := byName["PD-tree c=0.75"].CostRatio
+	star := byName["Star (SPT)"].CostRatio
+	if !(c25 <= c75+1e-9 && c75 <= star+1e-9) {
+		t.Errorf("PD-tree cost not monotone: %.3f %.3f %.3f", c25, c75, star)
+	}
+}
+
+func TestRenderFrontier(t *testing.T) {
+	var sb strings.Builder
+	RenderFrontier(&sb, []FrontierEntry{{Name: "MST", DelayRatio: 1, CostRatio: 1}}, 20, 5)
+	out := sb.String()
+	if !strings.Contains(out, "MST") || !strings.Contains(out, "20-pin") {
+		t.Errorf("render: %q", out)
+	}
+}
+
+func TestTimingExperimentImprovesClock(t *testing.T) {
+	cfg := quickConfig()
+	res, err := Timing(cfg, 4, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanClockRatio > 1.0+1e-9 {
+		t.Errorf("re-routing worsened the mean clock: %.3f", res.MeanClockRatio)
+	}
+	if res.MeanClockRatio <= 0 {
+		t.Errorf("implausible clock ratio %.3f", res.MeanClockRatio)
+	}
+	if res.MeanWireRatio < 1 {
+		t.Errorf("re-routing cannot remove wire: %.3f", res.MeanWireRatio)
+	}
+	if len(res.ClockRatios) != 4 {
+		t.Errorf("ratios %v", res.ClockRatios)
+	}
+}
+
+func TestTimingExperimentValidation(t *testing.T) {
+	cfg := quickConfig()
+	if _, err := Timing(cfg, 0, 3, 8); err == nil {
+		t.Error("zero designs must fail")
+	}
+	if _, err := Timing(cfg, 1, 3, 2); err == nil {
+		t.Error("two-pin nets must fail")
+	}
+}

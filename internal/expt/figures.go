@@ -1,0 +1,234 @@
+package expt
+
+import (
+	"fmt"
+
+	"nontree/internal/core"
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+	"nontree/internal/mst"
+	"nontree/internal/netlist"
+	"nontree/internal/steiner"
+)
+
+// Figure workload seeds. The paper's figures show particular illustrative
+// nets; these seeds were selected with cmd/seedscan so the generated nets
+// exhibit the same qualitative behaviour the captions describe: a large
+// single-edge win for Figure 2 (paper: −33.3% delay, +21.5% wire), a
+// two-iteration LDRG trace for Figure 3 (paper: −11.4%, +40%), and a large
+// SLDRG win over the Steiner tree for Figure 5 (paper: −32%, +25%).
+const (
+	Figure2Seed = 25
+	Figure3Seed = 27
+	Figure5Seed = 82
+)
+
+// Figure1Pins is the handcrafted 4-pin net of Figure 1. Like the paper's
+// own illustration it is constructed, not random: the MST is the chain
+// n0–n1–n2–n3, the far sink n3 sits on a long branch, and the short wire
+// n0–n2 (2750 µm against a 17,000 µm tree) parallels the first two edges,
+// slashing the resistance feeding the entire branch.
+//
+// The geometry was selected by sweeping this family (see git history /
+// DESIGN.md): the MST cycle property forces any added edge on a 4-pin net
+// to cost at least the largest tree edge on the path it shortcuts, which
+// under the Table 1 technology bounds the achievable improvement-per-wire
+// ratio near 1:1 — our instance trades ~16% extra wire for ~15–18% delay,
+// versus the paper's reported 23% at 9%. EXPERIMENTS.md discusses the gap.
+var Figure1Pins = []geom.Point{
+	{X: 0, Y: 0},        // n0: source
+	{X: 2500, Y: 0},     // n1
+	{X: 1375, Y: 1375},  // n2
+	{X: 1375, Y: 13375}, // n3: far sink on the long branch
+}
+
+func view(t *graph.Topology) TopologyView {
+	v := TopologyView{NumPins: t.NumPins()}
+	for _, p := range t.Points() {
+		v.Points = append(v.Points, [2]float64{p.X, p.Y})
+	}
+	for _, e := range t.Edges() {
+		v.Edges = append(v.Edges, [2]int{e.U, e.V})
+	}
+	return v
+}
+
+func figureNet(cfg *Config, seed int64, pins int) (*netlist.Net, error) {
+	gen := netlist.NewGenerator(seed)
+	gen.Side = netlist.DefaultSide
+	return gen.Generate(pins)
+}
+
+// singleEdgeFigure implements Figures 1 and 2: an MST and the routing graph
+// after LDRG's single best edge addition, with measured delays.
+func singleEdgeFigure(cfg Config, id, title string, pins []geom.Point) (*Figure, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	seedTopo, err := mst.Prim(pins)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.LDRG(seedTopo, cfg.ldrgOptions(1))
+	if err != nil {
+		return nil, err
+	}
+	o, err := cfg.measureStages(seedTopo, res.AddedEdges)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{ID: id, Title: title, Values: map[string]float64{}}
+	f.Values["mst_delay_s"] = o.baseDelay
+	f.Values["mst_cost_um"] = o.baseCost
+	f.Stages = append(f.Stages, FigureStage{Label: "(a) MST", Topo: view(seedTopo)})
+	if len(o.stageDelay) == 0 {
+		f.Lines = append(f.Lines, "LDRG found no improving edge on this net")
+		return f, nil
+	}
+	s := o.finalRatio()
+	f.Values["graph_delay_s"] = o.stageDelay[0]
+	f.Values["graph_cost_um"] = o.stageCost[0]
+	f.Values["delay_ratio"] = s.DelayRatio
+	f.Values["cost_ratio"] = s.CostRatio
+	f.Stages = append(f.Stages, FigureStage{Label: "(b) MST + 1 edge", Topo: view(res.Topology)})
+	f.Lines = append(f.Lines,
+		fmt.Sprintf("MST delay %.3g ns, cost %.0f µm", o.baseDelay*1e9, o.baseCost),
+		fmt.Sprintf("with 1 added edge: delay %.3g ns (%.1f%% improvement), cost %.0f µm (+%.1f%%)",
+			o.stageDelay[0]*1e9, 100*(1-s.DelayRatio), o.stageCost[0], 100*(s.CostRatio-1)),
+	)
+	return f, nil
+}
+
+// Figure1 reproduces the paper's Figure 1: a small net where one extra edge
+// substantially cuts delay at a modest wirelength penalty (the paper shows
+// 23% delay improvement for 9% extra wire).
+func Figure1(cfg Config) (*Figure, error) {
+	return singleEdgeFigure(cfg, "figure1",
+		"Adding one edge to a small MST cuts delay", Figure1Pins)
+}
+
+// Figure2 reproduces Figure 2: a random 10-pin net where a single added
+// edge yields a large delay improvement (paper: 33.3% for 21.5% wire).
+func Figure2(cfg Config) (*Figure, error) {
+	net, err := figureNet(&cfg, Figure2Seed, 10)
+	if err != nil {
+		return nil, err
+	}
+	return singleEdgeFigure(cfg, "figure2",
+		"One extra edge on a random 10-pin net", net.Pins)
+}
+
+// Figure3 reproduces Figure 3: an LDRG execution trace on a 10-pin net —
+// the per-iteration delay reduction and wirelength penalty (paper: 7% after
+// one edge, 11.4% cumulative after two, at 25% and 40% wire).
+func Figure3(cfg Config) (*Figure, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := figureNet(&cfg, Figure3Seed, 10)
+	if err != nil {
+		return nil, err
+	}
+	seedTopo, err := mst.Prim(net.Pins)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.LDRG(seedTopo, cfg.ldrgOptions(2))
+	if err != nil {
+		return nil, err
+	}
+	o, err := cfg.measureStages(seedTopo, res.AddedEdges)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:    "figure3",
+		Title: "LDRG execution trace on a random 10-pin net",
+		Values: map[string]float64{
+			"mst_delay_s": o.baseDelay,
+			"mst_cost_um": o.baseCost,
+		},
+	}
+	f.Stages = append(f.Stages, FigureStage{Label: "(a) MST", Topo: view(seedTopo)})
+	f.Lines = append(f.Lines, fmt.Sprintf("MST delay %.3g ns, cost %.0f µm", o.baseDelay*1e9, o.baseCost))
+	cum := seedTopo.Clone()
+	for k := range o.stageDelay {
+		if err := cum.AddEdge(res.AddedEdges[k]); err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("(%c) after edge %d", 'b'+byte(k), k+1)
+		f.Stages = append(f.Stages, FigureStage{Label: label, Topo: view(cum)})
+		f.Values[fmt.Sprintf("stage%d_delay_s", k+1)] = o.stageDelay[k]
+		f.Values[fmt.Sprintf("stage%d_cost_um", k+1)] = o.stageCost[k]
+		f.Lines = append(f.Lines, fmt.Sprintf(
+			"after edge %d: delay %.3g ns (%.1f%% cumulative improvement), cost %.0f µm (+%.1f%%)",
+			k+1, o.stageDelay[k]*1e9,
+			100*(1-o.stageDelay[k]/o.baseDelay),
+			o.stageCost[k], 100*(o.stageCost[k]/o.baseCost-1)))
+	}
+	if len(o.stageDelay) == 0 {
+		f.Lines = append(f.Lines, "LDRG found no improving edge on this net")
+	}
+	return f, nil
+}
+
+// Figure5 reproduces Figure 5: SLDRG on a 10-pin net — an Iterated
+// 1-Steiner tree versus the Steiner routing graph after greedy edge
+// addition (paper: 32% delay improvement for 25% extra wire).
+func Figure5(cfg Config) (*Figure, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := figureNet(&cfg, Figure5Seed, 10)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.SLDRG(net.Pins, steiner.Options{}, cfg.ldrgOptions(0))
+	if err != nil {
+		return nil, err
+	}
+	o, err := cfg.measureStages(res.Seed, res.AddedEdges)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:    "figure5",
+		Title: "SLDRG on a random 10-pin net",
+		Values: map[string]float64{
+			"steiner_delay_s": o.baseDelay,
+			"steiner_cost_um": o.baseCost,
+		},
+	}
+	f.Stages = append(f.Stages, FigureStage{Label: "(a) Steiner tree", Topo: view(res.Seed)})
+	f.Lines = append(f.Lines, fmt.Sprintf("Steiner tree delay %.3g ns, cost %.0f µm", o.baseDelay*1e9, o.baseCost))
+	if len(o.stageDelay) > 0 {
+		last := len(o.stageDelay) - 1
+		s := o.finalRatio()
+		f.Values["graph_delay_s"] = o.stageDelay[last]
+		f.Values["graph_cost_um"] = o.stageCost[last]
+		f.Values["delay_ratio"] = s.DelayRatio
+		f.Values["cost_ratio"] = s.CostRatio
+		f.Stages = append(f.Stages, FigureStage{Label: "(b) SLDRG graph", Topo: view(res.Topology)})
+		f.Lines = append(f.Lines, fmt.Sprintf(
+			"SLDRG graph (+%d edges): delay %.3g ns (%.1f%% improvement), cost %.0f µm (+%.1f%%)",
+			len(o.stageDelay), o.stageDelay[last]*1e9, 100*(1-s.DelayRatio),
+			o.stageCost[last], 100*(s.CostRatio-1)))
+	} else {
+		f.Lines = append(f.Lines, "SLDRG found no improving edge on this net")
+	}
+	return f, nil
+}
+
+// AllFigures runs every figure reproduction in paper order.
+func AllFigures(cfg Config) ([]*Figure, error) {
+	builders := []func(Config) (*Figure, error){Figure1, Figure2, Figure3, Figure5}
+	figs := make([]*Figure, 0, len(builders))
+	for _, b := range builders {
+		f, err := b(cfg)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}

@@ -1,0 +1,112 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"nontree/internal/stats"
+)
+
+// Row is one line of a reproduced table: statistics for one net size.
+type Row struct {
+	Size    int
+	Summary stats.Summary
+}
+
+// Section groups rows under a label (e.g. "Iteration One").
+type Section struct {
+	Name string
+	Rows []Row
+}
+
+// Table is a reproduced paper table.
+type Table struct {
+	ID       string // e.g. "table2"
+	Title    string // e.g. "LDRG Algorithm Statistics"
+	Baseline string // what ratios are normalized to
+	Sections []Section
+}
+
+// Render writes the table in the paper's layout.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s (normalized to %s)\n", t.ID, t.Title, t.Baseline)
+	for _, sec := range t.Sections {
+		if sec.Name != "" {
+			fmt.Fprintf(w, "  [%s]\n", sec.Name)
+		}
+		fmt.Fprintln(w, indent(stats.Header()))
+		for _, r := range sec.Rows {
+			fmt.Fprintln(w, indent(r.Summary.Row(fmt.Sprintf("%d", r.Size))))
+		}
+	}
+}
+
+func indent(s string) string {
+	out := "  "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "  "
+		}
+	}
+	return out
+}
+
+// Section lookup helpers used by tests and benches.
+
+// FindSection returns the section with the given name, or nil.
+func (t *Table) FindSection(name string) *Section {
+	for i := range t.Sections {
+		if t.Sections[i].Name == name {
+			return &t.Sections[i]
+		}
+	}
+	return nil
+}
+
+// RowFor returns the row for a net size within a section, or nil.
+func (s *Section) RowFor(size int) *Row {
+	for i := range s.Rows {
+		if s.Rows[i].Size == size {
+			return &s.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Figure is a reproduced paper figure: a narrative of delays and ratios on
+// one illustrative net, with the topologies retained for visualization.
+type Figure struct {
+	ID    string
+	Title string
+	// Lines is the human-readable account mirroring the figure caption.
+	Lines []string
+	// Values holds the machine-readable quantities (delays in seconds,
+	// ratios dimensionless) keyed by name.
+	Values map[string]float64
+	// Stages holds the topologies in order (baseline first, final last)
+	// for SVG rendering. Keyed by stage label.
+	Stages []FigureStage
+}
+
+// FigureStage is one topology snapshot within a figure.
+type FigureStage struct {
+	Label string
+	Topo  TopologyView
+}
+
+// TopologyView decouples figure rendering from the graph package: node
+// locations (µm), pin count, and edges as index pairs.
+type TopologyView struct {
+	Points  [][2]float64
+	NumPins int
+	Edges   [][2]int
+}
+
+// Render writes the figure narrative.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	for _, l := range f.Lines {
+		fmt.Fprintf(w, "  %s\n", l)
+	}
+}

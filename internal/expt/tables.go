@@ -1,0 +1,375 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nontree/internal/core"
+	"nontree/internal/ert"
+	"nontree/internal/graph"
+	"nontree/internal/mst"
+	"nontree/internal/stats"
+	"nontree/internal/steiner"
+)
+
+// trialOutcome carries one trial's measured stages: the baseline and the
+// cumulative result after each accepted edge.
+type trialOutcome struct {
+	baseDelay, baseCost float64
+	// stageDelay[k] / stageCost[k] are measured after k+1 accepted edges.
+	stageDelay, stageCost []float64
+}
+
+// ratioAt returns the (delay, cost) ratios of stage k relative to stage
+// k−1 (with stage −1 the baseline). Trials that accepted fewer than k+1
+// edges contribute a neutral ratio of 1, matching the paper's "All Cases"
+// accounting (all 50 instances enter every row).
+func (o *trialOutcome) ratioAt(k int) stats.Sample {
+	prevD, prevC := o.baseDelay, o.baseCost
+	if k > 0 {
+		if k-1 >= len(o.stageDelay) {
+			return stats.Sample{DelayRatio: 1, CostRatio: 1}
+		}
+		prevD, prevC = o.stageDelay[k-1], o.stageCost[k-1]
+	}
+	if k >= len(o.stageDelay) {
+		return stats.Sample{DelayRatio: 1, CostRatio: 1}
+	}
+	return stats.Sample{
+		DelayRatio: o.stageDelay[k] / prevD,
+		CostRatio:  o.stageCost[k] / prevC,
+	}
+}
+
+// finalRatio returns the final topology's ratios against the baseline.
+func (o *trialOutcome) finalRatio() stats.Sample {
+	if len(o.stageDelay) == 0 {
+		return stats.Sample{DelayRatio: 1, CostRatio: 1}
+	}
+	last := len(o.stageDelay) - 1
+	return stats.Sample{
+		DelayRatio: o.stageDelay[last] / o.baseDelay,
+		CostRatio:  o.stageCost[last] / o.baseCost,
+	}
+}
+
+// runTrials executes fn for every (size, trial) pair in parallel and
+// collects outcomes indexed [sizeIdx][trial]. fn must be safe for
+// concurrent use; all harness trial bodies are (they share only the
+// immutable Config).
+func runTrials(cfg *Config, fn func(size, trial int) (*trialOutcome, error)) ([][]*trialOutcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([][]*trialOutcome, len(cfg.Sizes))
+	for i := range out {
+		out[i] = make([]*trialOutcome, cfg.Trials)
+	}
+
+	type job struct{ sizeIdx, trial int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				o, err := fn(cfg.Sizes[j.sizeIdx], j.trial)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("expt: size %d trial %d: %w", cfg.Sizes[j.sizeIdx], j.trial, err)
+				}
+				out[j.sizeIdx][j.trial] = o
+				mu.Unlock()
+			}
+		}()
+	}
+	for si := range cfg.Sizes {
+		for tr := 0; tr < cfg.Trials; tr++ {
+			jobs <- job{si, tr}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// measureStages measures the baseline and the cumulative topology after
+// each accepted edge.
+func (c *Config) measureStages(baseline *graph.Topology, added []graph.Edge) (*trialOutcome, error) {
+	o := &trialOutcome{}
+	var err error
+	o.baseDelay, o.baseCost, err = c.Measure(baseline)
+	if err != nil {
+		return nil, fmt.Errorf("measuring baseline: %w", err)
+	}
+	cum := baseline.Clone()
+	for _, e := range added {
+		if err := cum.AddEdge(e); err != nil {
+			return nil, fmt.Errorf("replaying edge %v: %w", e, err)
+		}
+		d, cost, err := c.Measure(cum)
+		if err != nil {
+			return nil, fmt.Errorf("measuring stage: %w", err)
+		}
+		o.stageDelay = append(o.stageDelay, d)
+		o.stageCost = append(o.stageCost, cost)
+	}
+	return o, nil
+}
+
+// iterationSections builds the "Iteration One" / "Iteration Two" sections
+// used by Tables 2 and 4.
+func iterationSections(cfg *Config, outcomes [][]*trialOutcome) []Section {
+	sections := make([]Section, 0, 2)
+	for iter := 0; iter < 2; iter++ {
+		name := [2]string{"Iteration One", "Iteration Two"}[iter]
+		sec := Section{Name: name}
+		for si, size := range cfg.Sizes {
+			samples := make([]stats.Sample, 0, cfg.Trials)
+			for _, o := range outcomes[si] {
+				samples = append(samples, o.ratioAt(iter))
+			}
+			sec.Rows = append(sec.Rows, Row{Size: size, Summary: stats.Summarize(samples)})
+		}
+		sections = append(sections, sec)
+	}
+	return sections
+}
+
+// finalSection builds a single-section table of final-vs-baseline ratios.
+func finalSection(cfg *Config, outcomes [][]*trialOutcome, name string) Section {
+	sec := Section{Name: name}
+	for si, size := range cfg.Sizes {
+		samples := make([]stats.Sample, 0, cfg.Trials)
+		for _, o := range outcomes[si] {
+			samples = append(samples, o.finalRatio())
+		}
+		sec.Rows = append(sec.Rows, Row{Size: size, Summary: stats.Summarize(samples)})
+	}
+	return sec
+}
+
+// Table2 reproduces the paper's Table 2: LDRG from an MST seed, statistics
+// of the first and second greedy iterations, normalized to MST.
+func Table2(cfg Config) (*Table, error) {
+	outcomes, err := runTrials(&cfg, func(size, trial int) (*trialOutcome, error) {
+		net, err := cfg.netFor(size, trial)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := mst.Prim(net.Pins)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.LDRG(seed, cfg.ldrgOptions(2))
+		if err != nil {
+			return nil, err
+		}
+		return cfg.measureStages(seed, res.AddedEdges)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		ID:       "table2",
+		Title:    "LDRG Algorithm Statistics",
+		Baseline: "MST",
+		Sections: iterationSections(&cfg, outcomes),
+	}, nil
+}
+
+// Table3 reproduces Table 3: SLDRG over an Iterated 1-Steiner seed,
+// normalized to the Steiner tree values.
+func Table3(cfg Config) (*Table, error) {
+	outcomes, err := runTrials(&cfg, func(size, trial int) (*trialOutcome, error) {
+		net, err := cfg.netFor(size, trial)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.SLDRG(net.Pins, steiner.Options{}, cfg.ldrgOptions(0))
+		if err != nil {
+			return nil, err
+		}
+		return cfg.measureStages(res.Seed, res.AddedEdges)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		ID:       "table3",
+		Title:    "SLDRG Algorithm Statistics",
+		Baseline: "Steiner tree",
+		Sections: []Section{finalSection(&cfg, outcomes, "")},
+	}, nil
+}
+
+// Table4 reproduces Table 4: heuristic H1 (connect the source to the
+// worst-delay sink, keep if improved), iterations one and two, vs MST.
+func Table4(cfg Config) (*Table, error) {
+	outcomes, err := runTrials(&cfg, func(size, trial int) (*trialOutcome, error) {
+		net, err := cfg.netFor(size, trial)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := mst.Prim(net.Pins)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.H1(seed, cfg.ldrgOptions(2))
+		if err != nil {
+			return nil, err
+		}
+		return cfg.measureStages(seed, res.AddedEdges)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		ID:       "table4",
+		Title:    "H1 Heuristic Statistics",
+		Baseline: "MST",
+		Sections: iterationSections(&cfg, outcomes),
+	}, nil
+}
+
+// Table5 reproduces Table 5: the simulator-free heuristics H2 and H3
+// (single Elmore-guided addition each) vs MST.
+func Table5(cfg Config) (*Table, error) {
+	run := func(h func(size, trial int) (*trialOutcome, error)) ([][]*trialOutcome, error) {
+		return runTrials(&cfg, h)
+	}
+	mkTrial := func(useH3 bool) func(size, trial int) (*trialOutcome, error) {
+		return func(size, trial int) (*trialOutcome, error) {
+			net, err := cfg.netFor(size, trial)
+			if err != nil {
+				return nil, err
+			}
+			seed, err := mst.Prim(net.Pins)
+			if err != nil {
+				return nil, err
+			}
+			opts := cfg.ldrgOptions(1)
+			var res *core.Result
+			if useH3 {
+				res, err = core.H3(seed, cfg.Params, opts)
+			} else {
+				res, err = core.H2(seed, cfg.Params, opts)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return cfg.measureStages(seed, res.AddedEdges)
+		}
+	}
+	h2, err := run(mkTrial(false))
+	if err != nil {
+		return nil, err
+	}
+	h3, err := run(mkTrial(true))
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		ID:       "table5",
+		Title:    "H2 and H3 Heuristic Statistics",
+		Baseline: "MST",
+		Sections: []Section{
+			finalSection(&cfg, h2, "H2"),
+			finalSection(&cfg, h3, "H3"),
+		},
+	}, nil
+}
+
+// Table6 reproduces Table 6: the Elmore Routing Tree baseline vs MST.
+func Table6(cfg Config) (*Table, error) {
+	outcomes, err := runTrials(&cfg, func(size, trial int) (*trialOutcome, error) {
+		net, err := cfg.netFor(size, trial)
+		if err != nil {
+			return nil, err
+		}
+		baseline, err := mst.Prim(net.Pins)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := ert.Build(net.Pins, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		o := &trialOutcome{}
+		o.baseDelay, o.baseCost, err = cfg.Measure(baseline)
+		if err != nil {
+			return nil, err
+		}
+		d, c, err := cfg.Measure(tree)
+		if err != nil {
+			return nil, err
+		}
+		o.stageDelay = []float64{d}
+		o.stageCost = []float64{c}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		ID:       "table6",
+		Title:    "Elmore Routing Tree Statistics",
+		Baseline: "MST",
+		Sections: []Section{finalSection(&cfg, outcomes, "")},
+	}, nil
+}
+
+// Table7 reproduces Table 7: LDRG seeded with an ERT instead of an MST,
+// normalized to the ERT — demonstrating that non-tree routings improve even
+// on near-optimal trees.
+func Table7(cfg Config) (*Table, error) {
+	outcomes, err := runTrials(&cfg, func(size, trial int) (*trialOutcome, error) {
+		net, err := cfg.netFor(size, trial)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := ert.Build(net.Pins, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.LDRG(seed, cfg.ldrgOptions(0))
+		if err != nil {
+			return nil, err
+		}
+		return cfg.measureStages(seed, res.AddedEdges)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		ID:       "table7",
+		Title:    "ERT-Based LDRG Algorithm Statistics",
+		Baseline: "ERT",
+		Sections: []Section{finalSection(&cfg, outcomes, "")},
+	}, nil
+}
+
+// AllTables runs every table reproduction in paper order.
+func AllTables(cfg Config) ([]*Table, error) {
+	builders := []func(Config) (*Table, error){
+		Table2, Table3, Table4, Table5, Table6, Table7,
+	}
+	tables := make([]*Table, 0, len(builders))
+	for _, b := range builders {
+		t, err := b(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

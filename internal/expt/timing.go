@@ -1,0 +1,162 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"nontree/internal/core"
+	"nontree/internal/graph"
+	"nontree/internal/mst"
+	"nontree/internal/netlist"
+	"nontree/internal/stats"
+	"nontree/sta"
+)
+
+// The timing experiment quantifies the Section 5.1 workflow statistically:
+// random combinational designs (a chain of gates with fan-out, every net a
+// random multi-pin net) are routed with MSTs, analyzed, and the critical
+// net is iteratively re-routed with criticality-weighted LDRG. The metric
+// is the design's minimum feasible clock period.
+
+// TimingResult summarizes the timing experiment.
+type TimingResult struct {
+	// Designs is the number of random designs analyzed.
+	Designs int
+	// NetsPerDesign and PinsPerNet describe the workload.
+	NetsPerDesign, PinsPerNet int
+	// ClockRatios holds, per design, final/initial minimum clock period.
+	ClockRatios []float64
+	// MeanClockRatio and MeanWireRatio aggregate the runs.
+	MeanClockRatio, MeanWireRatio float64
+	// MeanIterations is the average number of re-routed nets.
+	MeanIterations float64
+}
+
+// Timing runs the experiment. Each design is a chain of numNets-1 gates:
+// PI → net0 → G1 → net1 → … → G_{k-1} → net_{k-1} → PO, where each gate's
+// input taps a random sink of the preceding net and the last net's random
+// sink is the primary output — so interconnect delay on every net matters.
+func Timing(cfg Config, designs, numNets, pinsPerNet int) (*TimingResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if designs < 1 || numNets < 1 || pinsPerNet < 3 {
+		return nil, fmt.Errorf("expt: timing experiment needs designs ≥ 1, nets ≥ 1, pins ≥ 3")
+	}
+
+	res := &TimingResult{
+		Designs:       designs,
+		NetsPerDesign: numNets,
+		PinsPerNet:    pinsPerNet,
+	}
+	var wireRatios, iters float64
+
+	for d := 0; d < designs; d++ {
+		rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(d)))
+
+		nets := make([]*netlist.Net, numNets)
+		topos := make([]*graph.Topology, numNets)
+		for i := range nets {
+			gen := netlist.NewGenerator(rng.Int63())
+			var err error
+			nets[i], err = gen.Generate(pinsPerNet)
+			if err != nil {
+				return nil, err
+			}
+			topos[i], err = mst.Prim(nets[i].Pins)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		design := &sta.Design{
+			NumNets:       numNets,
+			SinkCount:     make([]int, numNets),
+			NetDelay:      make([][]float64, numNets),
+			PrimaryInputs: []int{0},
+		}
+		for i := range design.SinkCount {
+			design.SinkCount[i] = pinsPerNet - 1
+		}
+		for g := 0; g < numNets-1; g++ {
+			design.Gates = append(design.Gates, sta.Gate{
+				Name:   fmt.Sprintf("G%d", g+1),
+				Delay:  0.2e-9,
+				FanIn:  []sta.PinRef{{Net: g, Sink: rng.Intn(pinsPerNet - 1)}},
+				Drives: g + 1,
+			})
+		}
+		design.PrimaryOutputs = []sta.PinRef{{Net: numNets - 1, Sink: rng.Intn(pinsPerNet - 1)}}
+
+		measure := func() (*sta.Timing, error) {
+			for i, topo := range topos {
+				sinks, _, err := cfg.measureSinks(topo, nil)
+				if err != nil {
+					return nil, err
+				}
+				design.NetDelay[i] = sinks
+			}
+			// The clock period constraint is irrelevant to WorstArrival;
+			// use a loose one.
+			return design.Analyze(1)
+		}
+
+		before, err := measure()
+		if err != nil {
+			return nil, err
+		}
+		initialWire := 0.0
+		for _, topo := range topos {
+			initialWire += topo.Cost()
+		}
+
+		timing := before
+		rerouted := map[int]bool{}
+		iterations := 0
+		for len(rerouted) < numNets {
+			criticalNet, _ := sta.MostCriticalNet(timing)
+			if rerouted[criticalNet] {
+				break
+			}
+			rerouted[criticalNet] = true
+			alphas := sta.Criticalities(timing, criticalNet, false)
+			r, err := core.CriticalSinkLDRG(topos[criticalNet], alphas, cfg.ldrgOptions(0))
+			if err != nil {
+				return nil, err
+			}
+			topos[criticalNet] = r.Topology
+			next, err := measure()
+			if err != nil {
+				return nil, err
+			}
+			iterations++
+			if next.WorstArrival >= timing.WorstArrival {
+				timing = next
+				break
+			}
+			timing = next
+		}
+
+		finalWire := 0.0
+		for _, topo := range topos {
+			finalWire += topo.Cost()
+		}
+		res.ClockRatios = append(res.ClockRatios, timing.WorstArrival/before.WorstArrival)
+		wireRatios += finalWire / initialWire
+		iters += float64(iterations)
+	}
+
+	res.MeanClockRatio = stats.Mean(res.ClockRatios)
+	res.MeanWireRatio = wireRatios / float64(designs)
+	res.MeanIterations = iters / float64(designs)
+	return res, nil
+}
+
+// Render writes the timing experiment summary.
+func (r *TimingResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "ext-timing — iterative critical-net re-routing (Section 5.1 workflow)\n")
+	fmt.Fprintf(w, "  %d designs × %d nets × %d pins: mean clock ratio %.3f (%.1f%% faster), wire ×%.3f, %.1f re-routes/design\n",
+		r.Designs, r.NetsPerDesign, r.PinsPerNet,
+		r.MeanClockRatio, 100*(1-r.MeanClockRatio), r.MeanWireRatio, r.MeanIterations)
+}

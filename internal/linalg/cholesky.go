@@ -1,0 +1,132 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Factorization is the solve interface shared by LU and Cholesky, letting
+// consumers pick the cheapest factorization their matrix admits.
+type Factorization interface {
+	// Solve returns x with A·x = b; b is not modified.
+	Solve(b []float64) []float64
+	// SolveInPlace overwrites b with the solution, allocation-free.
+	SolveInPlace(b []float64)
+}
+
+var (
+	_ Factorization = (*LU)(nil)
+	_ Factorization = (*Cholesky)(nil)
+)
+
+// ErrNotSPD is returned when Cholesky factorization encounters a
+// non-positive pivot — the matrix is not symmetric positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not symmetric positive definite")
+
+// Cholesky is the factorization A = L·Lᵀ of a symmetric positive definite
+// matrix — half the flops of LU and no pivoting, ideal for the grounded
+// conductance matrices of RC networks (which are SPD by construction).
+type Cholesky struct {
+	l *Matrix // lower triangular, row-major
+}
+
+// FactorCholesky computes the Cholesky factorization of a, which must be
+// symmetric positive definite (symmetry is checked up front; definiteness
+// falls out of the factorization itself). a is not modified.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cannot Cholesky-factor %dx%d non-square matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Symmetry check with a tolerance scaled to the matrix magnitude.
+	var maxAbs float64
+	for _, v := range a.Data {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	tol := maxAbs * 1e-12
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tol {
+				return nil, fmt.Errorf("%w: asymmetric at (%d,%d)", ErrNotSPD, i, j)
+			}
+		}
+	}
+
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			rowI := l.Data[i*n : i*n+j]
+			rowJ := l.Data[j*n : j*n+j]
+			for k := range rowJ {
+				sum -= rowI[k] * rowJ[k]
+			}
+			if i == j {
+				if sum <= maxAbs*1e-14 {
+					return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotSPD, i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve returns x with A·x = b.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	x := make([]float64, len(b))
+	copy(x, b)
+	c.SolveInPlace(x)
+	return x
+}
+
+// SolveInPlace overwrites b with A⁻¹b via forward then backward
+// substitution against L and Lᵀ.
+func (c *Cholesky) SolveInPlace(b []float64) {
+	n := c.l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: Cholesky solve dimension mismatch: %d vs %d", len(b), n))
+	}
+	// L·y = b.
+	for i := 0; i < n; i++ {
+		row := c.l.Data[i*n : i*n+i]
+		sum := b[i]
+		for k, v := range row {
+			sum -= v * b[k]
+		}
+		b[i] = sum / c.l.At(i, i)
+	}
+	// Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= c.l.At(k, i) * b[k]
+		}
+		b[i] = sum / c.l.At(i, i)
+	}
+}
+
+// Det returns the determinant (the squared product of the diagonal of L).
+func (c *Cholesky) Det() float64 {
+	det := 1.0
+	for i := 0; i < c.l.Rows; i++ {
+		d := c.l.At(i, i)
+		det *= d * d
+	}
+	return det
+}
+
+// FactorSPD factors a with Cholesky when possible, falling back to LU with
+// partial pivoting otherwise. Callers with matrices that are SPD by
+// construction get the cheap path without committing to it.
+func FactorSPD(a *Matrix) (Factorization, error) {
+	if ch, err := FactorCholesky(a); err == nil {
+		return ch, nil
+	}
+	return Factor(a)
+}

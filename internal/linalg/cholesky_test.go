@@ -1,0 +1,247 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	// A = Bᵀ·B + n·I is SPD for any B.
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += b.At(k, i) * b.At(k, j)
+			}
+			a.Set(i, j, sum)
+		}
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskyKnownCase(t *testing.T) {
+	// [[4,2],[2,3]] = L·Lᵀ with L = [[2,0],[1,√2]].
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	ch, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.Solve([]float64{10, 8})
+	// Verify by residual.
+	if r := Residual(a, x, []float64{10, 8}); r > 1e-12 {
+		t.Errorf("residual %v", r)
+	}
+	if d := ch.Det(); math.Abs(d-8) > 1e-12 {
+		t.Errorf("det = %v, want 8", d)
+	}
+}
+
+func TestCholeskyMatchesLUProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := 1 + rng.Intn(25)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		ch, err1 := FactorCholesky(a)
+		lu, err2 := Factor(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		xc := ch.Solve(b)
+		xl := lu.Solve(b)
+		for i := range xc {
+			if math.Abs(xc[i]-xl[i]) > 1e-8*(1+math.Abs(xl[i])) {
+				return false
+			}
+		}
+		return math.Abs(ch.Det()-lu.Det()) <= 1e-6*math.Abs(lu.Det())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	// Asymmetric.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 2)
+	if _, err := FactorCholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("asymmetric: %v", err)
+	}
+	// Symmetric indefinite.
+	b := NewMatrix(2, 2)
+	b.Set(0, 0, 1)
+	b.Set(0, 1, 2)
+	b.Set(1, 0, 2)
+	b.Set(1, 1, 1)
+	if _, err := FactorCholesky(b); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("indefinite: %v", err)
+	}
+	// Non-square.
+	if _, err := FactorCholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square must fail")
+	}
+}
+
+func TestFactorSPDFallsBackToLU(t *testing.T) {
+	// A well-conditioned but asymmetric matrix must still be solvable.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 5)
+	f, err := FactorSPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isCh := f.(*Cholesky); isCh {
+		t.Error("asymmetric matrix must not take the Cholesky path")
+	}
+	x := f.Solve([]float64{6, 12})
+	if r := Residual(a, x, []float64{6, 12}); r > 1e-12 {
+		t.Errorf("fallback residual %v", r)
+	}
+}
+
+func TestFactorSPDUsesCholeskyWhenPossible(t *testing.T) {
+	a := randomSPD(rand.New(rand.NewSource(2)), 8)
+	f, err := FactorSPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isCh := f.(*Cholesky); !isCh {
+		t.Error("SPD matrix must take the Cholesky path")
+	}
+}
+
+func TestCholeskySolveInPlaceMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(rng, 10)
+	ch, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1 := ch.Solve(b)
+	x2 := append([]float64(nil), b...)
+	ch.SolveInPlace(x2)
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatal("Solve and SolveInPlace differ")
+		}
+	}
+}
+
+func TestComplexLUSolve(t *testing.T) {
+	// (1+i)x + 3y = 3;  x + (1-i)y = 1+i  (det = 2 − 3 = −1 ≠ 0).
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, complex(1, 1))
+	a.Set(0, 1, 3)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, complex(1, -1))
+	b := []complex128{3, complex(1, 1)}
+	lu, err := FactorComplex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lu.Solve(b)
+	for i := 0; i < 2; i++ {
+		var sum complex128
+		for j := 0; j < 2; j++ {
+			sum += a.At(i, j) * x[j]
+		}
+		if d := sum - b[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Errorf("row %d residual %v", i, d)
+		}
+	}
+}
+
+func TestComplexLURandomResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(20)
+		a := NewCMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		// Diagonal boost keeps the matrix comfortably non-singular.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, complex(float64(n), float64(n)))
+		}
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		lu, err := FactorComplex(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := lu.Solve(b)
+		for i := 0; i < n; i++ {
+			var sum complex128
+			for j := 0; j < n; j++ {
+				sum += a.At(i, j) * x[j]
+			}
+			d := sum - b[i]
+			if real(d)*real(d)+imag(d)*imag(d) > 1e-16 {
+				t.Fatalf("trial %d row %d residual %v", trial, i, d)
+			}
+		}
+	}
+}
+
+func TestComplexLUSingular(t *testing.T) {
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := FactorComplex(a); !errors.Is(err, ErrSingularComplex) {
+		t.Errorf("rank-1 complex: %v", err)
+	}
+	if _, err := FactorComplex(NewCMatrix(3, 3)); err == nil {
+		t.Error("zero matrix must fail")
+	}
+	if _, err := FactorComplex(NewCMatrix(2, 3)); err == nil {
+		t.Error("non-square must fail")
+	}
+}
+
+func TestFromRealPair(t *testing.T) {
+	g := NewMatrix(2, 2)
+	c := NewMatrix(2, 2)
+	g.Set(0, 0, 1)
+	c.Set(0, 0, 2)
+	m, err := FromRealPair(g, c, complex(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != complex(1, 6) {
+		t.Errorf("got %v, want (1+6i)", m.At(0, 0))
+	}
+	if _, err := FromRealPair(g, NewMatrix(3, 3), 1i); err == nil {
+		t.Error("mismatched shapes must fail")
+	}
+}

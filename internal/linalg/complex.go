@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+)
+
+// Complex dense LU with partial pivoting — the kernel of AC (frequency-
+// domain) circuit analysis, where the system matrix is G + jωC.
+
+// CMatrix is a dense row-major complex matrix.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zeroed rows × cols complex matrix.
+func NewCMatrix(rows, cols int) *CMatrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// FromRealPair builds g + s·c from two real matrices — the AC system
+// matrix at complex frequency s = jω.
+func FromRealPair(g, c *Matrix, s complex128) (*CMatrix, error) {
+	if g.Rows != c.Rows || g.Cols != c.Cols || g.Rows != g.Cols {
+		return nil, errors.New("linalg: FromRealPair needs matching square matrices")
+	}
+	m := NewCMatrix(g.Rows, g.Cols)
+	for i := range g.Data {
+		m.Data[i] = complex(g.Data[i], 0) + s*complex(c.Data[i], 0)
+	}
+	return m, nil
+}
+
+// ErrSingularComplex is returned when complex factorization cannot find a
+// usable pivot.
+var ErrSingularComplex = errors.New("linalg: complex matrix is singular to working precision")
+
+// CLU is a complex LU factorization with partial pivoting.
+type CLU struct {
+	lu    *CMatrix
+	pivot []int
+}
+
+// FactorComplex computes the LU factorization of a (not modified).
+func FactorComplex(a *CMatrix) (*CLU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cannot factor %dx%d non-square complex matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := NewCMatrix(n, n)
+	copy(lu.Data, a.Data)
+	pivot := make([]int, n)
+
+	var maxAbs float64
+	for _, v := range lu.Data {
+		if av := cmplx.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	if maxAbs == 0 {
+		if n == 0 {
+			return &CLU{lu: lu, pivot: pivot}, nil
+		}
+		return nil, ErrSingularComplex
+	}
+	threshold := maxAbs * 1e-14
+
+	for col := 0; col < n; col++ {
+		p := col
+		largest := cmplx.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(lu.At(r, col)); v > largest {
+				largest = v
+				p = r
+			}
+		}
+		if largest <= threshold {
+			return nil, fmt.Errorf("%w (pivot column %d)", ErrSingularComplex, col)
+		}
+		if p != col {
+			rp := lu.Data[p*n : (p+1)*n]
+			rc := lu.Data[col*n : (col+1)*n]
+			for k := range rp {
+				rp[k], rc[k] = rc[k], rp[k]
+			}
+		}
+		pivot[col] = p
+
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			rowR := lu.Data[r*n : (r+1)*n]
+			rowC := lu.Data[col*n : (col+1)*n]
+			for j := col + 1; j < n; j++ {
+				rowR[j] -= f * rowC[j]
+			}
+		}
+	}
+	return &CLU{lu: lu, pivot: pivot}, nil
+}
+
+// Solve returns x with A·x = b (b is not modified).
+func (f *CLU) Solve(b []complex128) []complex128 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: complex solve dimension mismatch: %d vs %d", len(b), n))
+	}
+	x := make([]complex128, n)
+	copy(x, b)
+	for i := 0; i < n; i++ {
+		if p := f.pivot[i]; p != i {
+			x[i], x[p] = x[p], x[i]
+		}
+	}
+	for i := 1; i < n; i++ {
+		row := f.lu.Data[i*n : i*n+i]
+		var sum complex128
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		x[i] -= sum
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = sum / f.lu.At(i, i)
+	}
+	return x
+}

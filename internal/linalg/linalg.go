@@ -1,0 +1,251 @@
+// Package linalg provides the dense linear algebra needed by the circuit
+// simulator and the general-graph Elmore analysis: a row-major matrix type
+// and LU factorization with partial pivoting.
+//
+// Circuit matrices for the nets in this repository are small (tens to a few
+// hundred unknowns), so a cache-friendly dense solver beats sparse machinery
+// and keeps the code dependency-free.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols; element (i,j) at Data[i*Cols+j]
+}
+
+// NewMatrix returns a zeroed rows × cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j) — the natural operation for MNA
+// stamping.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets every element to 0, reusing storage.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes y = m · x. It panics on dimension mismatch (programmer
+// error, not input error).
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %d cols vs %d vector", m.Cols, len(x)))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+	return y
+}
+
+// AddScaled accumulates s·other into m (m += s·other).
+func (m *Matrix) AddScaled(other *Matrix, s float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("linalg: AddScaled dimension mismatch")
+	}
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// ErrSingular is returned when factorization encounters a pivot too small
+// to be numerically meaningful — e.g. a floating circuit node with no DC
+// path to ground.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU is an LU factorization with partial pivoting: P·A = L·U, stored packed
+// in a single matrix (unit lower-triangular L below the diagonal, U on and
+// above it).
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  int
+}
+
+// pivotTolerance scales the singularity test relative to the largest
+// element magnitude seen in the factorization.
+const pivotTolerance = 1e-14
+
+// Factor computes the LU factorization of a (a is not modified).
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cannot factor %dx%d non-square matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+
+	var maxAbs float64
+	for _, v := range lu.Data {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	if maxAbs == 0 {
+		if n == 0 {
+			return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+		}
+		return nil, ErrSingular
+	}
+	threshold := maxAbs * pivotTolerance
+
+	for col := 0; col < n; col++ {
+		// Partial pivoting: pick the largest magnitude in this column.
+		p := col
+		largest := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > largest {
+				largest = v
+				p = r
+			}
+		}
+		if largest <= threshold {
+			return nil, fmt.Errorf("%w (pivot column %d)", ErrSingular, col)
+		}
+		if p != col {
+			swapRows(lu, p, col)
+			sign = -sign
+		}
+		pivot[col] = p
+
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			rowR := lu.Data[r*n : (r+1)*n]
+			rowC := lu.Data[col*n : (col+1)*n]
+			for j := col + 1; j < n; j++ {
+				rowR[j] -= f * rowC[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Solve returns x with A·x = b. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	x := make([]float64, len(b))
+	copy(x, b)
+	f.SolveInPlace(x)
+	return x
+}
+
+// SolveInPlace overwrites b with the solution of A·x = b. This is the hot
+// path of transient simulation (one call per timestep), so it allocates
+// nothing.
+func (f *LU) SolveInPlace(b []float64) {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: Solve dimension mismatch: %d vs %d", len(b), n))
+	}
+	// Apply the row permutation.
+	for i := 0; i < n; i++ {
+		if p := f.pivot[i]; p != i {
+			b[i], b[p] = b[p], b[i]
+		}
+	}
+	// Forward substitution with unit lower-triangular L.
+	for i := 1; i < n; i++ {
+		row := f.lu.Data[i*n : i*n+i]
+		var sum float64
+		for j, v := range row {
+			sum += v * b[j]
+		}
+		b[i] -= sum
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Data[i*n+i : (i+1)*n]
+		sum := b[i]
+		for j := 1; j < len(row); j++ {
+			sum -= row[j] * b[i+j]
+		}
+		b[i] = sum / row[0]
+	}
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	det := float64(f.sign)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// SolveDense solves A·X = B column by column, where B's columns are the
+// right-hand sides; it returns X with the same shape as B.
+func (f *LU) SolveDense(b *Matrix) *Matrix {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic("linalg: SolveDense dimension mismatch")
+	}
+	x := NewMatrix(b.Rows, b.Cols)
+	col := make([]float64, n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		f.SolveInPlace(col)
+		for i := 0; i < n; i++ {
+			x.Set(i, j, col[i])
+		}
+	}
+	return x
+}
+
+// Residual returns max_i |(A·x - b)_i|, a cheap verification of a solve.
+func Residual(a *Matrix, x, b []float64) float64 {
+	ax := a.MulVec(x)
+	var worst float64
+	for i := range ax {
+		if r := math.Abs(ax[i] - b[i]); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,230 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+)
+
+func randPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	used := map[geom.Point]bool{}
+	for len(pts) < n {
+		p := geom.Pt(float64(rng.Intn(100000))/10, float64(rng.Intn(100000))/10)
+		if !used[p] {
+			used[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestPrimSmallKnownCase(t *testing.T) {
+	// Square with side 10: MST is any 3 sides, cost 30.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}}
+	topo, err := Prim(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.IsTree() {
+		t.Error("Prim result is not a tree")
+	}
+	if got := topo.Cost(); got != 30 {
+		t.Errorf("cost = %v, want 30", got)
+	}
+}
+
+func TestPrimTwoPins(t *testing.T) {
+	topo, err := Prim([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumEdges() != 1 || topo.Cost() != 7 {
+		t.Errorf("two-pin MST: %d edges cost %v", topo.NumEdges(), topo.Cost())
+	}
+}
+
+func TestTooFewPoints(t *testing.T) {
+	if _, err := Prim([]geom.Point{{X: 1, Y: 1}}); err != ErrTooFewPoints {
+		t.Errorf("Prim one point: %v", err)
+	}
+	if _, err := Kruskal(nil); err != ErrTooFewPoints {
+		t.Errorf("Kruskal nil: %v", err)
+	}
+}
+
+func TestPrimEqualsKruskalCostProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		pts := randPoints(rng, 2+rng.Intn(20))
+		p, err1 := Prim(pts)
+		k, err2 := Kruskal(pts)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p.Cost()-k.Cost()) < 1e-6 &&
+			p.IsTree() && k.IsTree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostMatchesPrim(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 2+rng.Intn(15))
+		topo, err := Prim(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := Cost(pts); math.Abs(c-topo.Cost()) > 1e-6 {
+			t.Fatalf("Cost %v vs Prim %v", c, topo.Cost())
+		}
+	}
+	if Cost([]geom.Point{{X: 1, Y: 1}}) != 0 {
+		t.Error("Cost of single point must be 0")
+	}
+}
+
+func TestMSTCycleProperty(t *testing.T) {
+	// For every non-tree edge (u,v), its length is ≥ every edge on the
+	// tree path u→v — the defining property of minimum spanning trees.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		pts := randPoints(rng, 4+rng.Intn(10))
+		topo, err := Prim(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range topo.AbsentEdges() {
+			maxOnPath, err := maxEdgeOnPath(topo, e.U, e.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if topo.EdgeLength(e) < maxOnPath-1e-9 {
+				t.Fatalf("cycle property violated: edge %v (%.2f) < path max %.2f",
+					e, topo.EdgeLength(e), maxOnPath)
+			}
+		}
+	}
+}
+
+// maxEdgeOnPath finds the longest edge on the unique tree path u→v.
+func maxEdgeOnPath(t *graph.Topology, u, v int) (float64, error) {
+	parents, err := t.RootAt(u)
+	if err != nil {
+		return 0, err
+	}
+	var worst float64
+	for cur := v; cur != u; cur = parents[cur] {
+		l := t.EdgeLength(graph.Edge{U: cur, V: parents[cur]})
+		if l > worst {
+			worst = l
+		}
+	}
+	return worst, nil
+}
+
+func TestMSTBeatsRandomSpanningTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		pts := randPoints(rng, 8)
+		topo, err := Prim(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mstCost := topo.Cost()
+		// Random spanning trees: random permutation chain.
+		for k := 0; k < 10; k++ {
+			perm := rng.Perm(len(pts))
+			var cost float64
+			for i := 1; i < len(perm); i++ {
+				cost += geom.Dist(pts[perm[i-1]], pts[perm[i]])
+			}
+			if cost < mstCost-1e-9 {
+				t.Fatalf("random chain %v beat MST: %.2f < %.2f", perm, cost, mstCost)
+			}
+		}
+	}
+}
+
+func TestMSTAtLeastHalfPerimeter(t *testing.T) {
+	// Classic bound: MST cost ≥ half-perimeter of the bounding box.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 2+rng.Intn(15))
+		box := geom.BoundingBox(pts)
+		if c := Cost(pts); c < box.HalfPerimeter()-1e-9 {
+			t.Fatalf("MST cost %.2f below half-perimeter %.2f", c, box.HalfPerimeter())
+		}
+	}
+}
+
+func TestCoincidentPointsFailCleanly(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 5, Y: 5}}
+	if _, err := Prim(pts); err == nil {
+		t.Error("Prim with coincident points must error (zero-length edge)")
+	}
+	if _, err := Kruskal(pts); err == nil {
+		t.Error("Kruskal with coincident points must error")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(6)
+	if uf.Sets() != 6 {
+		t.Fatalf("initial sets = %d", uf.Sets())
+	}
+	if !uf.Union(0, 1) || !uf.Union(2, 3) || !uf.Union(0, 2) {
+		t.Fatal("unions must succeed")
+	}
+	if uf.Union(1, 3) {
+		t.Error("union within a set must report false")
+	}
+	if uf.Sets() != 3 {
+		t.Errorf("sets = %d, want 3", uf.Sets())
+	}
+	if uf.Find(3) != uf.Find(0) {
+		t.Error("0 and 3 must share a representative")
+	}
+	if uf.Find(4) == uf.Find(0) || uf.Find(5) == uf.Find(4) {
+		t.Error("singletons must be distinct")
+	}
+}
+
+func TestUnionFindAllMerged(t *testing.T) {
+	uf := NewUnionFind(100)
+	for i := 1; i < 100; i++ {
+		uf.Union(i-1, i)
+	}
+	if uf.Sets() != 1 {
+		t.Errorf("sets = %d after full merge", uf.Sets())
+	}
+	root := uf.Find(0)
+	for i := 1; i < 100; i++ {
+		if uf.Find(i) != root {
+			t.Fatalf("element %d not in the merged set", i)
+		}
+	}
+}
+
+func TestPrimNodeOrderMatchesInput(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(6)), 10)
+	topo, err := Prim(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if !topo.Point(i).Eq(p) {
+			t.Fatalf("node %d moved: %v vs %v", i, topo.Point(i), p)
+		}
+	}
+	if topo.NumPins() != len(pts) {
+		t.Errorf("NumPins = %d", topo.NumPins())
+	}
+}

@@ -1,0 +1,62 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks that the text parser never panics and that any net it
+// accepts round-trips through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("pin 0 0\npin 10 20\n")
+	f.Add("# comment\nnet demo\npin 0 0\npin 1 1\npin 2 2\n")
+	f.Add("net x\npin -5.5 3e3\npin 1e-2 0\n")
+	f.Add("pin 0 0\npin 0 0\n")
+	f.Add("bogus\n")
+	f.Add("pin")
+	f.Add("net\n")
+	f.Add(strings.Repeat("pin 1 1\n", 100))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		net, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		// Accepted nets must be valid and serializable.
+		if err := net.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid net: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := net.WriteText(&buf); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal input: %q\nserialized: %q", err, input, buf.String())
+		}
+		if back.NumPins() != net.NumPins() {
+			t.Fatalf("round trip changed pin count %d → %d", net.NumPins(), back.NumPins())
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON path likewise.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"pins":[{"X":0,"Y":0},{"X":1,"Y":1}]}`)
+	f.Add(`{"name":"n","pins":[{"X":0,"Y":0},{"X":5,"Y":5},{"X":2,"Y":9}]}`)
+	f.Add(`{}`)
+	f.Add(`{"pins":[]}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"pins":[{"X":1e999,"Y":0},{"X":0,"Y":0}]}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		net, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid net: %v", err)
+		}
+	})
+}

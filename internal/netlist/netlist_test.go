@@ -1,0 +1,251 @@
+package netlist
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nontree/internal/geom"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	n := New(geom.Pt(1, 2), geom.Pt(3, 4), geom.Pt(5, 6))
+	if n.NumPins() != 3 || n.NumSinks() != 2 {
+		t.Fatalf("counts: %d pins, %d sinks", n.NumPins(), n.NumSinks())
+	}
+	if !n.Source().Eq(geom.Pt(1, 2)) {
+		t.Errorf("source = %v", n.Source())
+	}
+	sinks := n.Sinks()
+	if len(sinks) != 2 || !sinks[0].Eq(geom.Pt(3, 4)) || !sinks[1].Eq(geom.Pt(5, 6)) {
+		t.Errorf("sinks = %v", sinks)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		net  *Net
+		want error
+	}{
+		{"ok", New(geom.Pt(0, 0), geom.Pt(1, 1)), nil},
+		{"too few", &Net{Pins: []geom.Point{{X: 0, Y: 0}}}, ErrTooFewPins},
+		{"empty", &Net{}, ErrTooFewPins},
+		{"duplicate", New(geom.Pt(0, 0), geom.Pt(0, 0)), ErrDuplicatePins},
+		{"nan", New(geom.Pt(math.NaN(), 0), geom.Pt(1, 1)), ErrNonFinitePin},
+		{"inf", New(geom.Pt(0, 0), geom.Pt(math.Inf(1), 1)), ErrNonFinitePin},
+	}
+	for _, c := range cases {
+		err := c.net.Validate()
+		if c.want == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	n := New(geom.Pt(0, 0), geom.Pt(1, 1))
+	n.Name = "orig"
+	c := n.Clone()
+	c.Pins[0] = geom.Pt(9, 9)
+	c.Name = "copy"
+	if !n.Pins[0].Eq(geom.Pt(0, 0)) || n.Name != "orig" {
+		t.Error("Clone must be deep")
+	}
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	a, err := NewGenerator(7).Generate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(7).Generate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pins {
+		if !a.Pins[i].Eq(b.Pins[i]) {
+			t.Fatalf("same seed produced different nets at pin %d", i)
+		}
+	}
+	c, err := NewGenerator(8).Generate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Pins {
+		if !a.Pins[i].Eq(c.Pins[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical nets")
+	}
+}
+
+func TestGeneratorBoundsAndValidity(t *testing.T) {
+	gen := NewGenerator(3)
+	for trial := 0; trial < 20; trial++ {
+		n, err := gen.Generate(15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("generated net invalid: %v", err)
+		}
+		for _, p := range n.Pins {
+			if p.X < 0 || p.X > DefaultSide || p.Y < 0 || p.Y > DefaultSide {
+				t.Fatalf("pin %v outside layout region", p)
+			}
+		}
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	gen := NewGenerator(1)
+	if _, err := gen.Generate(1); !errors.Is(err, ErrNonPositiveSize) {
+		t.Errorf("size 1: %v", err)
+	}
+	gen.Side = -5
+	if _, err := gen.Generate(5); !errors.Is(err, ErrNegativeRegion) {
+		t.Errorf("negative side: %v", err)
+	}
+}
+
+func TestGenerateBatch(t *testing.T) {
+	nets, err := NewGenerator(11).GenerateBatch(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 5 {
+		t.Fatalf("batch size %d", len(nets))
+	}
+	names := map[string]bool{}
+	for _, n := range nets {
+		if n.NumPins() != 8 {
+			t.Errorf("net %s has %d pins", n.Name, n.NumPins())
+		}
+		if names[n.Name] {
+			t.Errorf("duplicate name %s", n.Name)
+		}
+		names[n.Name] = true
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := New(geom.Pt(0, 0), geom.Pt(1234.5, 6789))
+	orig.Name = "roundtrip"
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.NumPins() != orig.NumPins() {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	for i := range orig.Pins {
+		if !back.Pins[i].Eq(orig.Pins[i]) {
+			t.Fatalf("pin %d: %v vs %v", i, back.Pins[i], orig.Pins[i])
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"pins":[{"X":0,"Y":0}]}`)); err == nil {
+		t.Error("single-pin JSON must fail validation")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{garbage`)); err == nil {
+		t.Error("malformed JSON must error")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := New(geom.Pt(0.5, 0), geom.Pt(100, 200), geom.Pt(-3, 4.25))
+	orig.Name = "textnet"
+	var buf bytes.Buffer
+	if err := orig.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "textnet" || back.NumPins() != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	for i := range orig.Pins {
+		if !back.Pins[i].Eq(orig.Pins[i]) {
+			t.Fatalf("pin %d mismatch", i)
+		}
+	}
+}
+
+func TestTextParsing(t *testing.T) {
+	good := "# comment\nnet demo\npin 0 0\n\npin 10 20\n"
+	n, err := ReadText(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "demo" || n.NumPins() != 2 {
+		t.Fatalf("parsed: %+v", n)
+	}
+
+	bad := []string{
+		"pin 0\n",            // missing y
+		"pin a b\n",          // non-numeric
+		"net\n",              // missing name
+		"frob 1 2\n",         // unknown directive
+		"pin 0 0\n",          // single pin fails validation
+		"pin 0 0\npin 0 0\n", // duplicate pins
+	}
+	for _, src := range bad {
+		if _, err := ReadText(strings.NewReader(src)); err == nil {
+			t.Errorf("input %q must fail", src)
+		}
+	}
+}
+
+func TestTextJSONAgreeProperty(t *testing.T) {
+	// Any generated net survives both serializations identically.
+	f := func(seed int64) bool {
+		n, err := NewGenerator(seed).Generate(6)
+		if err != nil {
+			return false
+		}
+		var jb, tb bytes.Buffer
+		if n.WriteJSON(&jb) != nil || n.WriteText(&tb) != nil {
+			return false
+		}
+		fromJSON, err1 := ReadJSON(&jb)
+		fromText, err2 := ReadText(&tb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range n.Pins {
+			if !fromJSON.Pins[i].Eq(n.Pins[i]) || !fromText.Pins[i].Eq(n.Pins[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	n := New(geom.Pt(1, 9), geom.Pt(5, 2))
+	box := n.BoundingBox()
+	if !box.Min.Eq(geom.Pt(1, 2)) || !box.Max.Eq(geom.Pt(5, 9)) {
+		t.Errorf("box = %+v", box)
+	}
+}

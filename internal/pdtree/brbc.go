@@ -1,0 +1,159 @@
+package pdtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+)
+
+// BRBC implements the Bounded-Radius Bounded-Cost construction of Cong,
+// Kahng, Robins, Sarrafzadeh & Wong ("Provably Good Performance-Driven
+// Global Routing", cited as [8] by the paper): walk an Euler tour of the
+// MST accumulating distance, and whenever the accumulated walk exceeds
+// ε·R (R = the source's shortest-path radius), add a direct wire back to
+// the source and reset. The shortest-path tree of the resulting union
+// graph provably satisfies
+//
+//	radius(T) ≤ (1+ε)·R        and        cost(T) ≤ (1 + 2/ε)·cost(MST).
+//
+// ε → ∞ degenerates to the MST; ε → 0 to the shortest-path star. Both
+// bounds are asserted by the test suite.
+func BRBC(pins []geom.Point, eps float64) (*graph.Topology, error) {
+	if len(pins) < 2 {
+		return nil, ErrTooFewPins
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("pdtree: BRBC epsilon %g must be positive", eps)
+	}
+	mstTopo, err := primTopology(pins)
+	if err != nil {
+		return nil, err
+	}
+
+	// R: the complete geometric graph's source radius is the largest
+	// direct distance (every shortest path is the direct edge).
+	radius := 0.0
+	for v := 1; v < len(pins); v++ {
+		if d := geom.Dist(pins[0], pins[v]); d > radius {
+			radius = d
+		}
+	}
+
+	// Union graph: MST plus the tour's shortcut edges.
+	union := mstTopo.Clone()
+	tour := eulerTour(mstTopo, 0)
+	accum := 0.0
+	for i := 1; i < len(tour); i++ {
+		accum += geom.Dist(pins[tour[i-1]], pins[tour[i]])
+		if accum >= eps*radius {
+			v := tour[i]
+			e := graph.Edge{U: 0, V: v}.Canon()
+			if v != 0 && !union.HasEdge(e) && union.EdgeLength(e) > 0 {
+				if err := union.AddEdge(e); err != nil {
+					return nil, err
+				}
+			}
+			accum = 0
+		}
+	}
+
+	// The routing tree is the union graph's shortest-path tree from the
+	// source.
+	return shortestPathTree(union)
+}
+
+// primTopology is mst.Prim without importing mst (avoiding an import cycle
+// is not actually required here, but keeping pdtree self-contained makes
+// its provable-bounds tests independent of the mst package's internals).
+func primTopology(pins []geom.Point) (*graph.Topology, error) {
+	n := len(pins)
+	t := graph.NewTopology(pins)
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	via := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+		via[i] = -1
+	}
+	inTree[0] = true
+	for v := 1; v < n; v++ {
+		best[v] = geom.Dist(pins[0], pins[v])
+		via[v] = 0
+	}
+	for added := 1; added < n; added++ {
+		pick := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (pick < 0 || best[v] < best[pick]) {
+				pick = v
+			}
+		}
+		if pick < 0 {
+			return nil, errors.New("pdtree: internal prim error")
+		}
+		if err := t.AddEdge(graph.Edge{U: via[pick], V: pick}); err != nil {
+			return nil, err
+		}
+		inTree[pick] = true
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if d := geom.Dist(pins[pick], pins[v]); d < best[v] {
+					best[v] = d
+					via[v] = pick
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// eulerTour returns the depth-first Euler tour of a tree (each edge walked
+// twice), starting and ending at root.
+func eulerTour(t *graph.Topology, root int) []int {
+	tour := []int{root}
+	visited := make([]bool, t.NumNodes())
+	var dfs func(n int)
+	dfs = func(n int) {
+		visited[n] = true
+		for _, m := range t.Neighbors(n) {
+			if !visited[m] {
+				tour = append(tour, m)
+				dfs(m)
+				tour = append(tour, n)
+			}
+		}
+	}
+	dfs(root)
+	return tour
+}
+
+// shortestPathTree extracts the Dijkstra tree of a connected topology from
+// the source as a new topology over the same nodes.
+func shortestPathTree(g *graph.Topology) (*graph.Topology, error) {
+	if !g.Connected() {
+		return nil, errors.New("pdtree: union graph disconnected")
+	}
+	dist := g.ShortestPathLengths()
+	t := graph.NewTopology(g.Points())
+	const tol = 1e-9
+	for v := 1; v < g.NumNodes(); v++ {
+		// Parent: a neighbor u with dist[u] + w(u,v) = dist[v].
+		parent := -1
+		for _, u := range g.Neighbors(v) {
+			w := g.EdgeLength(graph.Edge{U: u, V: v})
+			if math.Abs(dist[u]+w-dist[v]) <= tol*(1+dist[v]) {
+				parent = u
+				break
+			}
+		}
+		if parent < 0 {
+			return nil, fmt.Errorf("pdtree: no shortest-path parent for node %d", v)
+		}
+		if err := t.AddEdge(graph.Edge{U: parent, V: v}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

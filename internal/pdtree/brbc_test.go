@@ -1,0 +1,141 @@
+package pdtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+	"nontree/internal/mst"
+)
+
+func sourceRadius(pins []geom.Point) float64 {
+	r := 0.0
+	for v := 1; v < len(pins); v++ {
+		if d := geom.Dist(pins[0], pins[v]); d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+func TestBRBCProvableBoundsProperty(t *testing.T) {
+	// The whole point of BRBC: radius ≤ (1+ε)·R and cost ≤ (1+2/ε)·MST.
+	f := func(seed int64) bool {
+		pins := pinsFor(t, seed, 12)
+		r := sourceRadius(pins)
+		mstCost := mst.Cost(pins)
+		for _, eps := range []float64{0.25, 0.5, 1, 2} {
+			topo, err := BRBC(pins, eps)
+			if err != nil {
+				return false
+			}
+			if !topo.IsTree() {
+				return false
+			}
+			rad, err := Radius(topo)
+			if err != nil {
+				return false
+			}
+			if rad > (1+eps)*r*(1+1e-9) {
+				t.Logf("seed %d eps %v: radius %.1f > (1+ε)R = %.1f", seed, eps, rad, (1+eps)*r)
+				return false
+			}
+			if topo.Cost() > (1+2/eps)*mstCost*(1+1e-9) {
+				t.Logf("seed %d eps %v: cost %.1f > (1+2/ε)MST = %.1f",
+					seed, eps, topo.Cost(), (1+2/eps)*mstCost)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBRBCLargeEpsilonApproachesMST(t *testing.T) {
+	pins := pinsFor(t, 5, 15)
+	topo, err := BRBC(pins, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ε huge no shortcut is ever added; the SPT of the MST is the MST
+	// itself (unique paths).
+	if math.Abs(topo.Cost()-mst.Cost(pins)) > 1e-6 {
+		t.Errorf("ε→∞ cost %.1f != MST %.1f", topo.Cost(), mst.Cost(pins))
+	}
+}
+
+func TestBRBCSmallEpsilonApproachesMinRadius(t *testing.T) {
+	pins := pinsFor(t, 7, 12)
+	topo, err := BRBC(pins, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rad, err := Radius(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sourceRadius(pins)
+	if rad > 1.02*r {
+		t.Errorf("ε→0 radius %.1f not near the minimum %.1f", rad, r)
+	}
+}
+
+func TestBRBCMonotoneTradeoff(t *testing.T) {
+	// Radius bound tightens and cost bound loosens as ε shrinks; verify
+	// the realized values respect the endpoints' ordering statistically.
+	pins := pinsFor(t, 9, 15)
+	tight, err := BRBC(pins, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := BRBC(pins, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTight, _ := Radius(tight)
+	rLoose, _ := Radius(loose)
+	if rTight > rLoose+1e-9 {
+		t.Errorf("smaller ε should not yield larger radius: %.1f vs %.1f", rTight, rLoose)
+	}
+	if tight.Cost() < loose.Cost()-1e-9 {
+		t.Errorf("smaller ε should not yield cheaper tree: %.1f vs %.1f", tight.Cost(), loose.Cost())
+	}
+}
+
+func TestBRBCValidation(t *testing.T) {
+	pins := pinsFor(t, 1, 5)
+	if _, err := BRBC(pins, 0); err == nil {
+		t.Error("ε = 0 must be rejected")
+	}
+	if _, err := BRBC(pins[:1], 1); err != ErrTooFewPins {
+		t.Error("single pin must be rejected")
+	}
+}
+
+func TestEulerTourCoversEveryEdgeTwice(t *testing.T) {
+	pins := pinsFor(t, 3, 10)
+	topo, err := primTopology(pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tour := eulerTour(topo, 0)
+	if len(tour) != 2*topo.NumEdges()+1 {
+		t.Fatalf("tour length %d, want %d", len(tour), 2*topo.NumEdges()+1)
+	}
+	if tour[0] != 0 || tour[len(tour)-1] != 0 {
+		t.Error("tour must start and end at the root")
+	}
+	counts := map[graph.Edge]int{}
+	for i := 1; i < len(tour); i++ {
+		counts[graph.Edge{U: tour[i-1], V: tour[i]}.Canon()]++
+	}
+	for _, e := range topo.Edges() {
+		if counts[e] != 2 {
+			t.Errorf("edge %v walked %d times", e, counts[e])
+		}
+	}
+}

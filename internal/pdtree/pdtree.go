@@ -1,0 +1,135 @@
+// Package pdtree implements cost–radius tradeoff spanning trees: the direct
+// combination of Prim's and Dijkstra's constructions (Alpert, Hu, Huang &
+// Kahng, cited as [1] in the paper) that interpolates between the minimum
+// spanning tree and the shortest-path tree.
+//
+// The paper positions non-tree routing against exactly this family of
+// performance-driven *tree* constructions ("Cong et al. have proposed
+// finding minimum spanning trees with bounded source-sink pathlength...
+// another cost-radius tradeoff was achieved by Alpert et al."), so the
+// family serves as an additional baseline in the comparison tooling.
+//
+// Construction: grow a tree from the source; at each step attach the
+// unconnected pin u through the tree node v minimizing
+//
+//	c·ℓ(v) + d(v, u)
+//
+// where ℓ(v) is the tree pathlength from the source to v and d is Manhattan
+// distance. c = 0 degenerates to Prim (the MST); c = 1 to Dijkstra — which
+// on a complete geometric graph is the source-rooted star, the
+// minimum-radius topology.
+package pdtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+)
+
+// ErrTooFewPins mirrors the other constructors' minimum input size.
+var ErrTooFewPins = errors.New("pdtree: need at least two pins")
+
+// Build constructs the Prim–Dijkstra tradeoff tree over pins (pins[0] is
+// the source) with tradeoff parameter c ∈ [0, 1].
+func Build(pins []geom.Point, c float64) (*graph.Topology, error) {
+	if len(pins) < 2 {
+		return nil, ErrTooFewPins
+	}
+	if c < 0 || c > 1 {
+		return nil, fmt.Errorf("pdtree: tradeoff parameter %g outside [0, 1]", c)
+	}
+	n := len(pins)
+	t := graph.NewTopology(pins)
+
+	inTree := make([]bool, n)
+	pathLen := make([]float64, n) // ℓ(v) for tree nodes
+	bestCost := make([]float64, n)
+	bestVia := make([]int, n)
+
+	inTree[0] = true
+	for v := 1; v < n; v++ {
+		bestCost[v] = c*0 + geom.Dist(pins[0], pins[v])
+		bestVia[v] = 0
+	}
+
+	for added := 1; added < n; added++ {
+		pick := -1
+		for v := 1; v < n; v++ {
+			if !inTree[v] && (pick < 0 || bestCost[v] < bestCost[pick]) {
+				pick = v
+			}
+		}
+		if pick < 0 {
+			return nil, errors.New("pdtree: internal error: no pick")
+		}
+		via := bestVia[pick]
+		if err := t.AddEdge(graph.Edge{U: via, V: pick}); err != nil {
+			return nil, err
+		}
+		inTree[pick] = true
+		pathLen[pick] = pathLen[via] + geom.Dist(pins[via], pins[pick])
+
+		// Relax the frontier through the new node.
+		for v := 1; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			cost := c*pathLen[pick] + geom.Dist(pins[pick], pins[v])
+			if cost < bestCost[v] {
+				bestCost[v] = cost
+				bestVia[v] = pick
+			}
+		}
+	}
+	return t, nil
+}
+
+// Radius returns the maximum source-to-node tree pathlength of a tree
+// topology — the "radius" of the cost-radius tradeoff literature. It
+// requires a tree (unique paths).
+func Radius(t *graph.Topology) (float64, error) {
+	parents, err := t.RootAt(0)
+	if err != nil {
+		return 0, err
+	}
+	// Accumulate pathlengths in BFS order from the source.
+	depth := make([]float64, t.NumNodes())
+	for i := range depth {
+		depth[i] = math.NaN()
+	}
+	depth[0] = 0
+	queue := []int{0}
+	var worst float64
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, m := range t.Neighbors(v) {
+			if parents[m] == v {
+				depth[m] = depth[v] + t.EdgeLength(graph.Edge{U: v, V: m})
+				if depth[m] > worst {
+					worst = depth[m]
+				}
+				queue = append(queue, m)
+			}
+		}
+	}
+	return worst, nil
+}
+
+// Sweep builds the tradeoff tree for each parameter in cs, returning one
+// topology per value — used by the cost-radius tradeoff bench to trace the
+// frontier the paper's Section 1 discusses.
+func Sweep(pins []geom.Point, cs []float64) ([]*graph.Topology, error) {
+	out := make([]*graph.Topology, 0, len(cs))
+	for _, c := range cs {
+		t, err := Build(pins, c)
+		if err != nil {
+			return nil, fmt.Errorf("pdtree: sweep at c=%g: %w", c, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package pdtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+	"nontree/internal/mst"
+	"nontree/internal/netlist"
+)
+
+func pinsFor(t *testing.T, seed int64, n int) []geom.Point {
+	t.Helper()
+	net, err := netlist.NewGenerator(seed).Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Pins
+}
+
+func TestCZeroIsMST(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		pins := pinsFor(t, seed, 12)
+		pd, err := Build(pins, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pd.Cost()-mst.Cost(pins)) > 1e-6 {
+			t.Errorf("seed %d: c=0 cost %.2f != MST %.2f", seed, pd.Cost(), mst.Cost(pins))
+		}
+	}
+}
+
+func TestCOneIsStar(t *testing.T) {
+	pins := pinsFor(t, 3, 10)
+	pd, err := Build(pins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < len(pins); v++ {
+		if !pd.HasEdge(graph.Edge{U: 0, V: v}) {
+			t.Errorf("c=1 tree missing direct edge to pin %d: %v", v, pd.Edges())
+		}
+	}
+	// Star radius = max direct distance: the minimum possible radius.
+	r, err := Radius(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for v := 1; v < len(pins); v++ {
+		want = math.Max(want, geom.Dist(pins[0], pins[v]))
+	}
+	if math.Abs(r-want) > 1e-9 {
+		t.Errorf("star radius %.2f, want %.2f", r, want)
+	}
+}
+
+func TestAlwaysSpanningTree(t *testing.T) {
+	for _, c := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		pins := pinsFor(t, 7, 15)
+		pd, err := Build(pins, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pd.IsTree() || pd.NumEdges() != 14 {
+			t.Errorf("c=%g: not a spanning tree", c)
+		}
+	}
+}
+
+func TestMonotoneTradeoffProperty(t *testing.T) {
+	// As c rises, cost must not decrease and radius must not increase —
+	// the defining frontier of the construction (checked statistically:
+	// strict monotonicity is not guaranteed per instance, so allow tiny
+	// violations but no systematic ones).
+	f := func(seed int64) bool {
+		pins := pinsFor(t, seed, 10)
+		cs := []float64{0, 0.5, 1}
+		topos, err := Sweep(pins, cs)
+		if err != nil {
+			return false
+		}
+		cost0, cost1 := topos[0].Cost(), topos[2].Cost()
+		r0, err1 := Radius(topos[0])
+		r1, err2 := Radius(topos[2])
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Endpoints are exact: MST has minimal cost, star minimal radius.
+		return cost0 <= cost1+1e-6 && r1 <= r0+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadiusOfChain(t *testing.T) {
+	pins := []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 200, Y: 0}}
+	topo := graph.NewTopology(pins)
+	for i := 0; i < 2; i++ {
+		if err := topo.AddEdge(graph.Edge{U: i, V: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := Radius(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 200 {
+		t.Errorf("radius = %v, want 200", r)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build([]geom.Point{{X: 0, Y: 0}}, 0.5); err != ErrTooFewPins {
+		t.Errorf("one pin: %v", err)
+	}
+	pins := pinsFor(t, 1, 5)
+	if _, err := Build(pins, -0.1); err == nil {
+		t.Error("c < 0 must fail")
+	}
+	if _, err := Build(pins, 1.1); err == nil {
+		t.Error("c > 1 must fail")
+	}
+}
+
+func TestIntermediateCDominatesNeither(t *testing.T) {
+	// c=0.5 should land strictly between the endpoints on typical nets:
+	// cost between MST and star, radius between star and MST.
+	pins := pinsFor(t, 11, 20)
+	topos, err := Sweep(pins, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, cm, c1 := topos[0].Cost(), topos[1].Cost(), topos[2].Cost()
+	if cm < c0-1e-6 || cm > c1+1e-6 {
+		t.Errorf("cost ordering violated: %f %f %f", c0, cm, c1)
+	}
+	r0, _ := Radius(topos[0])
+	rm, _ := Radius(topos[1])
+	r1, _ := Radius(topos[2])
+	if rm > r0+1e-6 || rm < r1-1e-6 {
+		t.Errorf("radius ordering violated: %f %f %f", r0, rm, r1)
+	}
+}

@@ -1,0 +1,171 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdaptiveMatchesAnalyticRC(t *testing.T) {
+	const r, c = 1000.0, 1e-12
+	tau := r * c
+	ckt, out := buildRC(t, r, c)
+	res, err := TransientAdaptive(ckt, AdaptiveOpts{Stop: 5 * tau, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range res.Times {
+		want := 1 - math.Exp(-tm/tau)
+		if got := res.V[out][i]; math.Abs(got-want) > 0.003 {
+			t.Fatalf("at t=%.3g: v=%.5f want %.5f", tm, got, want)
+		}
+	}
+	if math.Abs(res.Final[out]-(1-math.Exp(-5))) > 0.003 {
+		t.Errorf("final %.5f", res.Final[out])
+	}
+}
+
+func TestAdaptiveMatchesFixedStepOnLadder(t *testing.T) {
+	// A 5-stage RC ladder: final states of adaptive and fine fixed-step
+	// runs must agree closely.
+	ckt := NewCircuit()
+	in := ckt.Node()
+	must(t, ckt.AddVSource(in, Ground, Step(0, 1, 0)))
+	prev := in
+	var last int
+	for i := 0; i < 5; i++ {
+		n := ckt.Node()
+		must(t, ckt.AddResistor(prev, n, 500))
+		must(t, ckt.AddCapacitor(n, Ground, 2e-13))
+		prev, last = n, n
+	}
+	stop := 5e-9
+	fixed, err := Transient(ckt, TranOpts{Step: stop / 20000, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := TransientAdaptive(ckt, AdaptiveOpts{Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(fixed.Final[last] - adaptive.Final[last]); diff > 1e-3 {
+		t.Errorf("final values differ by %.2g", diff)
+	}
+}
+
+func TestAdaptiveTakesFewerStepsOnStiffTail(t *testing.T) {
+	// After the transient dies out, the controller should grow its step:
+	// total steps must be far fewer than a fixed-step run of comparable
+	// accuracy (20k steps above).
+	ckt, _ := buildRC(t, 1000, 1e-12)
+	res, err := TransientAdaptive(ckt, AdaptiveOpts{Stop: 50e-9}) // 50 τ
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps > 5000 {
+		t.Errorf("adaptive run used %d steps; controller is not growing the step", res.Steps)
+	}
+	if res.Steps < 10 {
+		t.Errorf("suspiciously few steps (%d)", res.Steps)
+	}
+}
+
+func TestAdaptiveToleranceControlsError(t *testing.T) {
+	const r, c = 1000.0, 1e-12
+	tau := r * c
+	worstErr := func(tol float64) float64 {
+		ckt, out := buildRC(t, r, c)
+		res, err := TransientAdaptive(ckt, AdaptiveOpts{Stop: 3 * tau, Tolerance: tol, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for i, tm := range res.Times {
+			want := 1 - math.Exp(-tm/tau)
+			if e := math.Abs(res.V[out][i] - want); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	loose := worstErr(1e-2)
+	tight := worstErr(1e-6)
+	if tight >= loose {
+		t.Errorf("tightening tolerance did not reduce error: %.2g vs %.2g", tight, loose)
+	}
+	if tight > 1e-4 {
+		t.Errorf("tight-tolerance error %.2g too large", tight)
+	}
+}
+
+func TestAdaptiveRejectsBadOptions(t *testing.T) {
+	ckt, _ := buildRC(t, 100, 1e-12)
+	if _, err := TransientAdaptive(ckt, AdaptiveOpts{Stop: 0}); err == nil {
+		t.Error("zero stop must fail")
+	}
+	empty := NewCircuit()
+	if _, err := TransientAdaptive(empty, AdaptiveOpts{Stop: 1e-9}); err == nil {
+		t.Error("empty circuit must fail")
+	}
+}
+
+func TestAdaptiveRLC(t *testing.T) {
+	// Underdamped series RLC: the adaptive integrator must follow the
+	// ringing and settle to 1.
+	ckt := NewCircuit()
+	in, mid, out := ckt.Node(), ckt.Node(), ckt.Node()
+	must(t, ckt.AddVSource(in, Ground, Step(0, 1, 0)))
+	must(t, ckt.AddResistor(in, mid, 10))
+	must(t, ckt.AddInductor(mid, out, 1e-9))
+	must(t, ckt.AddCapacitor(out, Ground, 1e-12))
+	// ζ = R/2·sqrt(C/L) ≈ 0.16: underdamped; settle by ~40·sqrt(LC).
+	res, err := TransientAdaptive(ckt, AdaptiveOpts{Stop: 100e-9, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Final[out]-1) > 0.02 {
+		t.Errorf("RLC settled at %.4f", res.Final[out])
+	}
+	// Overshoot must exist for an underdamped response.
+	var peak float64
+	for _, v := range res.V[out] {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 1.2 {
+		t.Errorf("underdamped RLC peak %.3f; expected visible overshoot", peak)
+	}
+}
+
+func TestAdaptiveMeasureMatchesFixed(t *testing.T) {
+	// MeasureDelays via the adaptive integrator must agree with the
+	// fixed-step path on a multi-node circuit.
+	ckt := NewCircuit()
+	in := ckt.Node()
+	must(t, ckt.AddVSource(in, Ground, Step(0, 1, 0)))
+	prev := in
+	var nodes []int
+	for i := 0; i < 4; i++ {
+		n := ckt.Node()
+		must(t, ckt.AddResistor(prev, n, 300))
+		must(t, ckt.AddCapacitor(n, Ground, 3e-13))
+		nodes = append(nodes, n)
+		prev = n
+	}
+	fixed, err := MeasureDelays(ckt, nodes, DefaultMeasureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultMeasureOpts()
+	opts.Adaptive = true
+	adaptive, err := MeasureDelays(ckt, nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fixed {
+		if rel := math.Abs(fixed[i]-adaptive[i]) / fixed[i]; rel > 0.02 {
+			t.Errorf("node %d: fixed %.4g vs adaptive %.4g (%.2f%%)",
+				nodes[i], fixed[i], adaptive[i], 100*rel)
+		}
+	}
+}

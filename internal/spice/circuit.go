@@ -1,0 +1,243 @@
+// Package spice is a from-scratch linear circuit simulator standing in for
+// Berkeley SPICE2, which the paper uses to evaluate every routing topology.
+//
+// The paper's circuits are linear: distributed RC(L) interconnect driven by
+// a step source behind a driver resistance, with capacitive sink loads
+// (Section 2, Table 1). For this class, modified nodal analysis with an
+// implicit integrator reproduces SPICE's transient behaviour exactly, so the
+// substitution preserves the experiments — see DESIGN.md §2.
+//
+// The simulator supports resistors, capacitors, inductors, independent
+// voltage sources (step / PWL waveforms) and current sources; DC operating
+// point; and transient analysis via Backward Euler or the trapezoidal rule
+// with a fixed timestep and one-time LU factorization.
+package spice
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ground is the reference node; its voltage is identically zero.
+const Ground = 0
+
+// Waveform is a time-dependent source value (volts or amperes).
+type Waveform func(t float64) float64
+
+// DC returns a constant waveform.
+func DC(value float64) Waveform { return func(float64) float64 { return value } }
+
+// Step returns a waveform that is v0 for t < t0 and v1 afterwards — the
+// paper's rising input edge.
+func Step(v0, v1, t0 float64) Waveform {
+	return func(t float64) float64 {
+		if t < t0 {
+			return v0
+		}
+		return v1
+	}
+}
+
+// Ramp returns a waveform rising linearly from v0 at t0 to v1 at t1, flat
+// outside that interval. Useful for finite-slew ablations.
+func Ramp(v0, v1, t0, t1 float64) Waveform {
+	return func(t float64) float64 {
+		switch {
+		case t <= t0:
+			return v0
+		case t >= t1:
+			return v1
+		default:
+			return v0 + (v1-v0)*(t-t0)/(t1-t0)
+		}
+	}
+}
+
+type resistor struct {
+	a, b int
+	ohms float64
+}
+
+type capacitor struct {
+	a, b   int
+	farads float64
+}
+
+type inductor struct {
+	a, b    int
+	henries float64
+}
+
+type vsource struct {
+	pos, neg int
+	wave     Waveform
+}
+
+type isource struct {
+	from, to int // current flows from 'from' through the source into 'to'
+	wave     Waveform
+}
+
+// Circuit is a netlist under construction. Node 0 is ground; allocate
+// further nodes with Node.
+type Circuit struct {
+	numNodes   int
+	resistors  []resistor
+	capacitors []capacitor
+	inductors  []inductor
+	vsources   []vsource
+	isources   []isource
+}
+
+// NewCircuit returns an empty circuit containing only the ground node.
+func NewCircuit() *Circuit {
+	return &Circuit{numNodes: 1}
+}
+
+// Node allocates and returns a fresh node index.
+func (c *Circuit) Node() int {
+	c.numNodes++
+	return c.numNodes - 1
+}
+
+// Nodes allocates n fresh nodes and returns their indices.
+func (c *Circuit) Nodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = c.Node()
+	}
+	return out
+}
+
+// NumNodes returns the node count including ground.
+func (c *Circuit) NumNodes() int { return c.numNodes }
+
+// Element construction errors.
+var (
+	ErrBadNode      = errors.New("spice: node index out of range")
+	ErrNonPositive  = errors.New("spice: element value must be positive")
+	ErrSameNode     = errors.New("spice: element endpoints must differ")
+	ErrNilWaveform  = errors.New("spice: source waveform must not be nil")
+	ErrEmptyCircuit = errors.New("spice: circuit has no non-ground nodes")
+)
+
+func (c *Circuit) checkNodes(nodes ...int) error {
+	for _, n := range nodes {
+		if n < 0 || n >= c.numNodes {
+			return fmt.Errorf("%w: %d (circuit has %d nodes)", ErrBadNode, n, c.numNodes)
+		}
+	}
+	return nil
+}
+
+// AddResistor connects a resistance of the given ohms between nodes a and b.
+func (c *Circuit) AddResistor(a, b int, ohms float64) error {
+	if err := c.checkNodes(a, b); err != nil {
+		return err
+	}
+	if a == b {
+		return ErrSameNode
+	}
+	if ohms <= 0 {
+		return fmt.Errorf("%w: resistor %g ohms", ErrNonPositive, ohms)
+	}
+	c.resistors = append(c.resistors, resistor{a, b, ohms})
+	return nil
+}
+
+// AddCapacitor connects a capacitance of the given farads between a and b.
+func (c *Circuit) AddCapacitor(a, b int, farads float64) error {
+	if err := c.checkNodes(a, b); err != nil {
+		return err
+	}
+	if a == b {
+		return ErrSameNode
+	}
+	if farads <= 0 {
+		return fmt.Errorf("%w: capacitor %g farads", ErrNonPositive, farads)
+	}
+	c.capacitors = append(c.capacitors, capacitor{a, b, farads})
+	return nil
+}
+
+// AddInductor connects an inductance of the given henries between a and b.
+func (c *Circuit) AddInductor(a, b int, henries float64) error {
+	if err := c.checkNodes(a, b); err != nil {
+		return err
+	}
+	if a == b {
+		return ErrSameNode
+	}
+	if henries <= 0 {
+		return fmt.Errorf("%w: inductor %g henries", ErrNonPositive, henries)
+	}
+	c.inductors = append(c.inductors, inductor{a, b, henries})
+	return nil
+}
+
+// AddVSource connects an independent voltage source; the voltage at pos
+// minus the voltage at neg tracks the waveform.
+func (c *Circuit) AddVSource(pos, neg int, wave Waveform) error {
+	if err := c.checkNodes(pos, neg); err != nil {
+		return err
+	}
+	if pos == neg {
+		return ErrSameNode
+	}
+	if wave == nil {
+		return ErrNilWaveform
+	}
+	c.vsources = append(c.vsources, vsource{pos, neg, wave})
+	return nil
+}
+
+// AddISource connects an independent current source driving the waveform's
+// current out of node from and into node to.
+func (c *Circuit) AddISource(from, to int, wave Waveform) error {
+	if err := c.checkNodes(from, to); err != nil {
+		return err
+	}
+	if from == to {
+		return ErrSameNode
+	}
+	if wave == nil {
+		return ErrNilWaveform
+	}
+	c.isources = append(c.isources, isource{from, to, wave})
+	return nil
+}
+
+// Counts returns the number of each element kind, for diagnostics.
+func (c *Circuit) Counts() (r, cap, l, v, i int) {
+	return len(c.resistors), len(c.capacitors), len(c.inductors), len(c.vsources), len(c.isources)
+}
+
+// ResistorValues returns every resistor's value in ohms, in insertion
+// order. Exposed for netlist verification in tests and tools.
+func ResistorValues(c *Circuit) []float64 {
+	out := make([]float64, len(c.resistors))
+	for i, r := range c.resistors {
+		out[i] = r.ohms
+	}
+	return out
+}
+
+// CapacitorValues returns every capacitor's value in farads, in insertion
+// order.
+func CapacitorValues(c *Circuit) []float64 {
+	out := make([]float64, len(c.capacitors))
+	for i, cap := range c.capacitors {
+		out[i] = cap.farads
+	}
+	return out
+}
+
+// InductorValues returns every inductor's value in henries, in insertion
+// order.
+func InductorValues(c *Circuit) []float64 {
+	out := make([]float64, len(c.inductors))
+	for i, l := range c.inductors {
+		out[i] = l.henries
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEdgeMetricsSingleRC(t *testing.T) {
+	// Analytic single-pole: t50 = ln2·τ, rise 10→90 = ln9·τ, no overshoot.
+	const r, c = 1000.0, 1e-12
+	tau := r * c
+	ckt, out := buildRC(t, r, c)
+	m, err := MeasureEdge(ckt, out, DefaultMeasureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(m.Delay50-math.Ln2*tau) / (math.Ln2 * tau); rel > 0.01 {
+		t.Errorf("t50 = %.4g, want %.4g", m.Delay50, math.Ln2*tau)
+	}
+	wantRise := math.Log(9) * tau
+	if rel := math.Abs(m.Rise1090-wantRise) / wantRise; rel > 0.01 {
+		t.Errorf("rise = %.4g, want %.4g", m.Rise1090, wantRise)
+	}
+	if m.OvershootPercent > 0.2 {
+		t.Errorf("RC response cannot overshoot: %.2f%%", m.OvershootPercent)
+	}
+	if math.Abs(m.Final-1) > 1e-9 {
+		t.Errorf("final = %v", m.Final)
+	}
+}
+
+func TestEdgeMetricsUnderdampedRLCOvershoots(t *testing.T) {
+	ckt := NewCircuit()
+	in, mid, out := ckt.Node(), ckt.Node(), ckt.Node()
+	must(t, ckt.AddVSource(in, Ground, Step(0, 1, 0)))
+	must(t, ckt.AddResistor(in, mid, 10))
+	must(t, ckt.AddInductor(mid, out, 1e-9))
+	must(t, ckt.AddCapacitor(out, Ground, 1e-12))
+	// ζ = (R/2)·sqrt(C/L) ≈ 0.158 → overshoot exp(−πζ/√(1−ζ²)) ≈ 60%.
+	// The ringing period is 2π√(LC) ≈ 0.2 ns; size the window and step so
+	// the first peak is resolved by hundreds of samples.
+	opts := DefaultMeasureOpts()
+	opts.InitialHorizon = 2e-9
+	opts.StepsPerHorizon = 8000
+	m, err := MeasureEdge(ckt, out, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeta := (10.0 / 2) * math.Sqrt(1e-12/1e-9)
+	want := 100 * math.Exp(-math.Pi*zeta/math.Sqrt(1-zeta*zeta))
+	if math.Abs(m.OvershootPercent-want) > 5 {
+		t.Errorf("overshoot %.1f%%, analytic %.1f%%", m.OvershootPercent, want)
+	}
+	if m.Peak <= 1 {
+		t.Errorf("peak %.3f must exceed final", m.Peak)
+	}
+}
+
+func TestEdgeMetricsValidation(t *testing.T) {
+	ckt, _ := buildRC(t, 100, 1e-12)
+	if _, err := MeasureEdge(ckt, 0, DefaultMeasureOpts()); err == nil {
+		t.Error("ground node must be rejected")
+	}
+	if _, err := MeasureEdge(ckt, 99, DefaultMeasureOpts()); err == nil {
+		t.Error("out-of-range node must be rejected")
+	}
+}

@@ -1,0 +1,67 @@
+package spice
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDeck checks the SPICE deck parser never panics, and that any deck
+// it accepts can be written back out and re-read with identical element
+// counts.
+func FuzzReadDeck(f *testing.F) {
+	f.Add("* title\nR1 1 0 50\nV1 1 0 DC 1\n.END\n")
+	f.Add("t\nR1 1 2 1k\nC1 2 0 1p\nL1 1 2 1n\nV1 1 0 PWL(0 0 1p 1)\n.TRAN 1p 10n\n.END\n")
+	f.Add("I1 0 1 DC 1m\nR1 1 0 1k\n.END")
+	f.Add(".TRAN\n.END")
+	f.Add("R1 1 0 100meg\n")
+	f.Add("V1 1 0 PWL(0 0)\nR1 1 0 1\n.END")
+	f.Add(strings.Repeat("R1 1 0 1\n", 50))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		c, step, stop, err := ReadDeck(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDeck(&buf, c, "fuzz", step, stop); err != nil {
+			t.Fatalf("WriteDeck of accepted circuit failed: %v", err)
+		}
+		back, _, _, err := ReadDeck(&buf)
+		if err != nil {
+			t.Fatalf("re-read of emitted deck failed: %v\ndeck:\n%s", err, buf.String())
+		}
+		r1, c1, l1, v1, i1 := c.Counts()
+		r2, c2, l2, v2, i2 := back.Counts()
+		if r1 != r2 || c1 != c2 || l1 != l2 || v1 != v2 || i1 != i2 {
+			t.Fatalf("element counts changed across round trip")
+		}
+	})
+}
+
+// FuzzPWL checks the PWL evaluator for panics and out-of-envelope values.
+func FuzzPWL(f *testing.F) {
+	f.Add(0.0, 0.0, 1e-9, 1.0, 0.5e-9)
+	f.Add(1.0, -1.0, 2.0, 3.0, 1.5)
+	f.Fuzz(func(t *testing.T, t0, v0, t1, v1, q float64) {
+		if !(t0 <= t1) || t0 != t0 || t1 != t1 || v0 != v0 || v1 != v1 || q != q {
+			return
+		}
+		w := PWL([]float64{t0, v0, t1, v1})
+		got := w(q)
+		lo, hi := v0, v1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if got < lo-1e-9*(1+abs(lo)) || got > hi+1e-9*(1+abs(hi)) {
+			t.Fatalf("PWL(%g) = %g outside envelope [%g, %g]", q, got, lo, hi)
+		}
+	})
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,191 @@
+package spice
+
+import (
+	"fmt"
+
+	"nontree/internal/linalg"
+)
+
+// mnaSystem is the assembled modified-nodal-analysis description of a
+// circuit: C·dx/dt + G·x = b(t), where the unknown vector x holds the
+// non-ground node voltages followed by one branch current per voltage
+// source and per inductor.
+type mnaSystem struct {
+	circuit *Circuit
+	size    int // total unknowns
+	nv      int // node-voltage unknowns (numNodes - 1)
+
+	g *linalg.Matrix // conductance / incidence part
+	c *linalg.Matrix // capacitance / inductance part
+
+	// vsrcRow[i] is the row (and branch-current column) of voltage source i;
+	// indRow[i] likewise for inductor i.
+	vsrcRow []int
+	indRow  []int
+}
+
+// index maps a circuit node to its unknown index, or -1 for ground.
+func (s *mnaSystem) index(node int) int { return node - 1 }
+
+// assemble builds the MNA matrices for the circuit.
+func assemble(c *Circuit) (*mnaSystem, error) {
+	if c.numNodes <= 1 {
+		return nil, ErrEmptyCircuit
+	}
+	nv := c.numNodes - 1
+	size := nv + len(c.vsources) + len(c.inductors)
+	s := &mnaSystem{
+		circuit: c,
+		size:    size,
+		nv:      nv,
+		g:       linalg.NewMatrix(size, size),
+		c:       linalg.NewMatrix(size, size),
+		vsrcRow: make([]int, len(c.vsources)),
+		indRow:  make([]int, len(c.inductors)),
+	}
+
+	// Resistor stamps: conductance into G.
+	for _, r := range c.resistors {
+		s.stampConductance(s.g, r.a, r.b, 1/r.ohms)
+	}
+	// Capacitor stamps: capacitance into C with the same pattern.
+	for _, cap := range c.capacitors {
+		s.stampConductance(s.c, cap.a, cap.b, cap.farads)
+	}
+	// Voltage sources: branch current unknowns with incidence rows.
+	row := nv
+	for i, v := range c.vsources {
+		s.vsrcRow[i] = row
+		s.stampBranch(v.pos, v.neg, row)
+		row++
+	}
+	// Inductors: branch current unknowns; v_a - v_b - L·di/dt = 0.
+	for i, l := range c.inductors {
+		s.indRow[i] = row
+		s.stampBranch(l.a, l.b, row)
+		s.c.Add(row, row, -l.henries)
+		row++
+	}
+	if row != size {
+		return nil, fmt.Errorf("spice: internal stamping error: %d rows vs %d size", row, size)
+	}
+	return s, nil
+}
+
+// stampConductance applies the standard two-terminal stamp with value v
+// (a conductance for G, a capacitance for C) between nodes a and b.
+func (s *mnaSystem) stampConductance(m *linalg.Matrix, a, b int, v float64) {
+	ia, ib := s.index(a), s.index(b)
+	if ia >= 0 {
+		m.Add(ia, ia, v)
+	}
+	if ib >= 0 {
+		m.Add(ib, ib, v)
+	}
+	if ia >= 0 && ib >= 0 {
+		m.Add(ia, ib, -v)
+		m.Add(ib, ia, -v)
+	}
+}
+
+// stampBranch wires a branch-current unknown at the given row between pos
+// and neg: the current enters the node equations, and the branch row reads
+// the voltage difference.
+func (s *mnaSystem) stampBranch(pos, neg, row int) {
+	ip, in := s.index(pos), s.index(neg)
+	if ip >= 0 {
+		s.g.Add(ip, row, 1)
+		s.g.Add(row, ip, 1)
+	}
+	if in >= 0 {
+		s.g.Add(in, row, -1)
+		s.g.Add(row, in, -1)
+	}
+}
+
+// algebraicRows reports, per MNA row, whether the row carries no dynamic
+// (C-matrix) entries — i.e. it is a pure algebraic constraint such as a
+// voltage-source branch row or the KCL of a capacitor-free node.
+func (s *mnaSystem) algebraicRows() []bool {
+	out := make([]bool, s.size)
+	for r := 0; r < s.size; r++ {
+		algebraic := true
+		for j := 0; j < s.size; j++ {
+			if s.c.At(r, j) != 0 {
+				algebraic = false
+				break
+			}
+		}
+		out[r] = algebraic
+	}
+	return out
+}
+
+// rhs fills b with the source vector at time t, reusing the slice.
+func (s *mnaSystem) rhs(b []float64, t float64) {
+	for i := range b {
+		b[i] = 0
+	}
+	for i, v := range s.circuit.vsources {
+		b[s.vsrcRow[i]] = v.wave(t)
+	}
+	for _, src := range s.circuit.isources {
+		ifrom, ito := s.index(src.from), s.index(src.to)
+		cur := src.wave(t)
+		if ifrom >= 0 {
+			b[ifrom] -= cur
+		}
+		if ito >= 0 {
+			b[ito] += cur
+		}
+	}
+}
+
+// OperatingPoint computes the DC solution of the circuit with all sources
+// held at their t=0⁺ values and capacitors open / inductors shorted.
+//
+// Inductor shorts are represented by their branch rows with the L·di/dt
+// term dropped (the G-side incidence already enforces v_a = v_b); capacitors
+// simply contribute nothing to G.
+func OperatingPoint(c *Circuit) ([]float64, error) {
+	sys, err := assemble(c)
+	if err != nil {
+		return nil, err
+	}
+	lu, err := linalg.Factor(sys.g)
+	if err != nil {
+		return nil, fmt.Errorf("spice: DC operating point: %w", err)
+	}
+	b := make([]float64, sys.size)
+	sys.rhs(b, 0)
+	x := lu.Solve(b)
+	return sys.nodeVoltages(x), nil
+}
+
+// FinalValue computes the DC solution with all sources at their value as
+// t → ∞ (evaluated at the given large time), giving the settled voltages a
+// transient converges to — the reference for 50%-threshold delay.
+func FinalValue(c *Circuit, atTime float64) ([]float64, error) {
+	sys, err := assemble(c)
+	if err != nil {
+		return nil, err
+	}
+	lu, err := linalg.Factor(sys.g)
+	if err != nil {
+		return nil, fmt.Errorf("spice: final value: %w", err)
+	}
+	b := make([]float64, sys.size)
+	sys.rhs(b, atTime)
+	x := lu.Solve(b)
+	return sys.nodeVoltages(x), nil
+}
+
+// nodeVoltages expands an unknown vector into per-node voltages including
+// ground at index 0.
+func (s *mnaSystem) nodeVoltages(x []float64) []float64 {
+	v := make([]float64, s.circuit.numNodes)
+	for n := 1; n < s.circuit.numNodes; n++ {
+		v[n] = x[n-1]
+	}
+	return v
+}

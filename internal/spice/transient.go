@@ -1,0 +1,268 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+
+	"nontree/internal/linalg"
+)
+
+// Method selects the implicit integration scheme for transient analysis.
+type Method int
+
+const (
+	// Trapezoidal is SPICE's default second-order A-stable scheme.
+	Trapezoidal Method = iota
+	// BackwardEuler is first-order and L-stable; it damps the ringing that
+	// trapezoidal integration can sustain on LC circuits, and serves as an
+	// ablation reference.
+	BackwardEuler
+)
+
+// String names the method for reports.
+func (m Method) String() string {
+	switch m {
+	case Trapezoidal:
+		return "trapezoidal"
+	case BackwardEuler:
+		return "backward-euler"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// TranOpts configures a transient run.
+type TranOpts struct {
+	// Step is the fixed timestep in seconds. Must be positive.
+	Step float64
+	// Stop is the end time in seconds. Must exceed Step.
+	Stop float64
+	// Method selects the integrator (default Trapezoidal).
+	Method Method
+	// Record keeps all waveform samples in the result. When false only the
+	// running state needed for threshold detection is kept, which matters
+	// inside LDRG's candidate-evaluation loop.
+	Record bool
+}
+
+// ErrBadTranOpts reports invalid transient options.
+var ErrBadTranOpts = errors.New("spice: transient options require 0 < Step < Stop")
+
+// TranResult holds a transient simulation's outcome.
+type TranResult struct {
+	// Times holds the sample instants (only when TranOpts.Record).
+	Times []float64
+	// V[n] holds node n's waveform aligned with Times (only when Record).
+	V [][]float64
+	// Final holds the node voltages at Stop time.
+	Final []float64
+	// Crossings[n] is the first time node n's voltage crossed the threshold
+	// given to TransientThreshold, or a negative value if it never did.
+	// Populated only by TransientThreshold.
+	Crossings []float64
+	// Steps is the number of timesteps executed.
+	Steps int
+}
+
+// Transient runs a fixed-step implicit transient analysis from the zero
+// state (all node voltages and branch currents zero at t=0), returning
+// waveforms per TranOpts.
+func Transient(c *Circuit, opts TranOpts) (*TranResult, error) {
+	return transient(c, opts, nil)
+}
+
+// TransientThreshold runs a transient like Transient but additionally
+// detects, for each node in watch, the first time its voltage crosses the
+// given threshold (rising), using linear interpolation between steps.
+// The simulation still runs to opts.Stop so Final is meaningful.
+func TransientThreshold(c *Circuit, opts TranOpts, watch []int, threshold float64) (*TranResult, error) {
+	levels := make([]float64, len(watch))
+	for i := range levels {
+		levels[i] = threshold
+	}
+	return TransientThresholds(c, opts, watch, levels)
+}
+
+// TransientThresholds is TransientThreshold with a per-node threshold level.
+func TransientThresholds(c *Circuit, opts TranOpts, watch []int, levels []float64) (*TranResult, error) {
+	if len(watch) != len(levels) {
+		return nil, errors.New("spice: watch nodes and threshold levels must align")
+	}
+	return transient(c, opts, &thresholdWatch{nodes: watch, levels: levels})
+}
+
+type thresholdWatch struct {
+	nodes  []int
+	levels []float64
+}
+
+func transient(c *Circuit, opts TranOpts, watch *thresholdWatch) (*TranResult, error) {
+	if opts.Step <= 0 || opts.Stop <= opts.Step {
+		return nil, fmt.Errorf("%w: step=%g stop=%g", ErrBadTranOpts, opts.Step, opts.Stop)
+	}
+	sys, err := assemble(c)
+	if err != nil {
+		return nil, err
+	}
+	h := opts.Step
+
+	// Build the iteration matrix once; with a fixed step it never changes.
+	//   BE:   (C/h + G)      x_{k+1} = C/h·x_k            + b_{k+1}
+	//   TRAP: (2C/h + G)     x_{k+1} = (2C/h − G)·x_k     + b_k + b_{k+1}
+	lhs := sys.g.Clone()
+	var histC *linalg.Matrix // matrix applied to x_k on the right-hand side
+	switch opts.Method {
+	case BackwardEuler:
+		lhs.AddScaled(sys.c, 1/h)
+		histC = linalg.NewMatrix(sys.size, sys.size)
+		histC.AddScaled(sys.c, 1/h) // histC = C/h
+	case Trapezoidal:
+		lhs.AddScaled(sys.c, 2/h)
+		histC = linalg.NewMatrix(sys.size, sys.size)
+		histC.AddScaled(sys.c, 2/h) // histC = 2C/h
+		histC.AddScaled(sys.g, -1)  // histC = 2C/h − G
+	default:
+		return nil, fmt.Errorf("spice: unknown integration method %v", opts.Method)
+	}
+	lu, err := linalg.Factor(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("spice: transient matrix is singular (floating node?): %w", err)
+	}
+
+	// SPICE practice: take the very first step with Backward Euler. The
+	// t=0 source discontinuity makes the zero initial state inconsistent,
+	// and trapezoidal integration — which is only marginally stable — would
+	// smear the edge across the first step; L-stable BE resolves it.
+	var beLU *linalg.LU
+	var beHist *linalg.Matrix
+	if opts.Method == Trapezoidal {
+		beLhs := sys.g.Clone()
+		beLhs.AddScaled(sys.c, 1/h)
+		beLU, err = linalg.Factor(beLhs)
+		if err != nil {
+			return nil, fmt.Errorf("spice: transient matrix is singular (floating node?): %w", err)
+		}
+		beHist = linalg.NewMatrix(sys.size, sys.size)
+		beHist.AddScaled(sys.c, 1/h)
+	}
+
+	// Rows with no dynamic (C/L) entries are algebraic constraints —
+	// voltage-source rows and capacitor-free KCL rows. Trapezoidal
+	// averaging must not be applied to them: with an inconsistent initial
+	// state (an ideal step at t=0), averaging makes the constraint ring
+	// between 2·b and 0 forever. They are enforced instantaneously instead.
+	algebraic := sys.algebraicRows()
+
+	x := make([]float64, sys.size)
+	bPrev := make([]float64, sys.size)
+	bNext := make([]float64, sys.size)
+	rhs := make([]float64, sys.size)
+	sys.rhs(bPrev, 0)
+
+	res := &TranResult{}
+	var crossings []float64
+	var prevWatch []float64
+	if watch != nil {
+		crossings = make([]float64, len(watch.nodes))
+		for i := range crossings {
+			crossings[i] = -1
+		}
+		prevWatch = make([]float64, len(watch.nodes))
+	}
+
+	record := func(t float64, volts []float64) {
+		if !opts.Record {
+			return
+		}
+		if res.V == nil {
+			res.V = make([][]float64, c.numNodes)
+		}
+		res.Times = append(res.Times, t)
+		for n := 0; n < c.numNodes; n++ {
+			res.V[n] = append(res.V[n], volts[n])
+		}
+	}
+	record(0, make([]float64, c.numNodes))
+
+	steps := int(opts.Stop/h + 0.5)
+	for k := 1; k <= steps; k++ {
+		t := float64(k) * h
+		sys.rhs(bNext, t)
+
+		useTrap := opts.Method == Trapezoidal && k > 1
+		var hist []float64
+		if opts.Method == Trapezoidal && k == 1 {
+			hist = beHist.MulVec(x)
+		} else {
+			hist = histC.MulVec(x)
+		}
+		for i := range rhs {
+			switch {
+			case useTrap && algebraic[i]:
+				rhs[i] = bNext[i]
+			case useTrap:
+				rhs[i] = hist[i] + bPrev[i] + bNext[i]
+			default:
+				rhs[i] = hist[i] + bNext[i]
+			}
+		}
+		if opts.Method == Trapezoidal && k == 1 {
+			beLU.SolveInPlace(rhs)
+		} else {
+			lu.SolveInPlace(rhs)
+		}
+		copy(x, rhs)
+		bPrev, bNext = bNext, bPrev
+
+		if watch != nil {
+			remaining := 0
+			for i, n := range watch.nodes {
+				if crossings[i] >= 0 {
+					continue
+				}
+				remaining++
+				var v float64
+				if n > 0 {
+					v = x[n-1]
+				}
+				if v >= watch.levels[i] {
+					// Linear interpolation between the previous and current step.
+					frac := 1.0
+					if dv := v - prevWatch[i]; dv > 0 {
+						frac = (watch.levels[i] - prevWatch[i]) / dv
+					}
+					crossings[i] = t - h + frac*h
+					remaining--
+				}
+				prevWatch[i] = v
+			}
+			if remaining == 0 && !opts.Record {
+				// Every watched node has crossed; the caller only needs the
+				// crossing times, so stop early.
+				res.Steps = k
+				final := make([]float64, c.numNodes)
+				for n := 1; n < c.numNodes; n++ {
+					final[n] = x[n-1]
+				}
+				res.Final = final
+				res.Crossings = crossings
+				return res, nil
+			}
+		}
+		if opts.Record {
+			volts := make([]float64, c.numNodes)
+			for n := 1; n < c.numNodes; n++ {
+				volts[n] = x[n-1]
+			}
+			record(t, volts)
+		}
+		res.Steps = k
+	}
+
+	final := make([]float64, c.numNodes)
+	for n := 1; n < c.numNodes; n++ {
+		final[n] = x[n-1]
+	}
+	res.Final = final
+	res.Crossings = crossings
+	return res, nil
+}

@@ -1,0 +1,147 @@
+// Package steiner implements the Iterated 1-Steiner heuristic of Kahng and
+// Robins, the Steiner-tree construction the paper prescribes for Step 1 of
+// its SLDRG algorithm ("an efficient implementation of the Iterated
+// 1-Steiner algorithm of Kahng and Robins may be used").
+//
+// The heuristic repeatedly finds the single Hanan-grid point whose addition
+// most reduces the MST cost of the current point set, adds it, and repeats
+// until no point yields a positive saving. Unused (low-degree) Steiner
+// points are then pruned. Iterated 1-Steiner averages within a few percent
+// of optimal rectilinear Steiner minimal trees.
+package steiner
+
+import (
+	"errors"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+	"nontree/internal/mst"
+)
+
+// Options tunes the Iterated 1-Steiner run.
+type Options struct {
+	// MaxSteinerPoints bounds how many Steiner points may be added;
+	// 0 means no explicit bound (the algorithm terminates anyway because
+	// each accepted point strictly reduces MST cost; at most k−2 Steiner
+	// points are ever useful).
+	MaxSteinerPoints int
+	// RegenerateCandidates recomputes the Hanan grid after each accepted
+	// Steiner point (over pins plus accepted points). The original
+	// algorithm uses the pins' grid; regeneration explores a slightly
+	// larger space at extra cost.
+	RegenerateCandidates bool
+}
+
+// ErrTooFewPins mirrors the MST requirement of at least two points.
+var ErrTooFewPins = errors.New("steiner: need at least two pins")
+
+// Tree runs Iterated 1-Steiner over the pins and returns a Steiner tree
+// topology: nodes 0..len(pins)-1 are the pins (node 0 the source), and the
+// surviving Steiner points follow. The result is always a tree spanning
+// every pin.
+func Tree(pins []geom.Point, opts Options) (*graph.Topology, error) {
+	if len(pins) < 2 {
+		return nil, ErrTooFewPins
+	}
+
+	points := make([]geom.Point, len(pins))
+	copy(points, pins)
+	numPins := len(pins)
+
+	candidates := geom.HananGrid(points)
+	baseCost := mst.Cost(points)
+
+	for {
+		if opts.MaxSteinerPoints > 0 && len(points)-numPins >= opts.MaxSteinerPoints {
+			break
+		}
+		bestGain := 0.0
+		bestIdx := -1
+		for i, c := range candidates {
+			gain := baseCost - mst.Cost(append(points, c))
+			if gain > bestGain {
+				bestGain = gain
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		points = append(points, candidates[bestIdx])
+		baseCost -= bestGain
+		if opts.RegenerateCandidates {
+			candidates = geom.HananGrid(points)
+		} else {
+			candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
+		}
+	}
+
+	return assemble(points, numPins)
+}
+
+// assemble builds the MST over pins+Steiner points, prunes useless Steiner
+// points (degree ≤ 2), and returns the compacted topology.
+func assemble(points []geom.Point, numPins int) (*graph.Topology, error) {
+	spanning, err := mst.Prim(points)
+	if err != nil {
+		return nil, err
+	}
+	t := graph.NewTopologyWithSteiner(points[:numPins], points[numPins:])
+	for _, e := range spanning.Edges() {
+		if err := t.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	Prune(t)
+	compacted, _ := t.Compact()
+	return compacted, nil
+}
+
+// Prune removes Steiner points that do not genuinely branch the tree:
+// degree-1 Steiner leaves are deleted outright, and degree-2 Steiner
+// pass-throughs are shorted (their two edges replaced by a direct edge,
+// which in the Manhattan metric never increases cost). Pruned nodes are
+// left isolated; callers typically follow with Topology.Compact.
+//
+// Prune operates on trees; on general graphs it still terminates but only
+// simplifies tree-like fringes.
+func Prune(t *graph.Topology) {
+	changed := true
+	for changed {
+		changed = false
+		for n := t.NumPins(); n < t.NumNodes(); n++ {
+			switch t.Degree(n) {
+			case 1:
+				nb := t.Neighbors(n)[0]
+				if err := t.RemoveEdge(graph.Edge{U: n, V: nb}); err == nil {
+					changed = true
+				}
+			case 2:
+				a, b := t.Neighbors(n)[0], t.Neighbors(n)[1]
+				if a == b {
+					continue
+				}
+				ea := graph.Edge{U: a, V: n}
+				eb := graph.Edge{U: n, V: b}
+				bridge := graph.Edge{U: a, V: b}.Canon()
+				if t.HasEdge(bridge) || t.EdgeLength(bridge) == 0 {
+					continue
+				}
+				if err := t.RemoveEdge(ea); err != nil {
+					continue
+				}
+				if err := t.RemoveEdge(eb); err != nil {
+					// Restore and give up on this node.
+					_ = t.AddEdge(ea)
+					continue
+				}
+				if err := t.AddEdge(bridge); err != nil {
+					_ = t.AddEdge(ea)
+					_ = t.AddEdge(eb)
+					continue
+				}
+				changed = true
+			}
+		}
+	}
+}

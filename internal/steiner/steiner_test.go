@@ -1,0 +1,242 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+	"nontree/internal/mst"
+	"nontree/internal/netlist"
+)
+
+func TestCrossNetGetsCenterSteinerPoint(t *testing.T) {
+	// Four pins at the compass points: the optimal Steiner tree uses the
+	// center, saving 1/3 of the MST cost.
+	pins := []geom.Point{
+		{X: 500, Y: 0}, {X: 0, Y: 500}, {X: 1000, Y: 500}, {X: 500, Y: 1000},
+	}
+	topo, err := Tree(pins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.IsTree() {
+		t.Error("result must be a tree")
+	}
+	mstCost := mst.Cost(pins)
+	if topo.Cost() >= mstCost {
+		t.Errorf("Steiner cost %.0f not below MST %.0f", topo.Cost(), mstCost)
+	}
+	// The cross's optimum is 2000 (two spans through the center).
+	if topo.Cost() != 2000 {
+		t.Errorf("cross Steiner cost = %.0f, want 2000", topo.Cost())
+	}
+	if topo.NumNodes() != 5 || !topo.IsSteiner(4) {
+		t.Errorf("expected exactly one Steiner point, got %d nodes", topo.NumNodes())
+	}
+	if !topo.Point(4).Eq(geom.Pt(500, 500)) {
+		t.Errorf("Steiner point at %v, want (500,500)", topo.Point(4))
+	}
+}
+
+func TestLShapedNetNeedsNoSteiner(t *testing.T) {
+	// Collinear-ish pins where the MST is already optimal.
+	pins := []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 200, Y: 0}}
+	topo, err := Tree(pins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 3 {
+		t.Errorf("collinear net gained Steiner points: %d nodes", topo.NumNodes())
+	}
+	if topo.Cost() != 200 {
+		t.Errorf("cost = %v", topo.Cost())
+	}
+}
+
+func TestSteinerNeverWorseThanMSTProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		gen := netlist.NewGenerator(seed)
+		net, err := gen.Generate(8)
+		if err != nil {
+			return false
+		}
+		topo, err := Tree(net.Pins, Options{})
+		if err != nil {
+			return false
+		}
+		return topo.IsTree() && topo.Cost() <= mst.Cost(net.Pins)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteinerRatioBound(t *testing.T) {
+	// Rectilinear Steiner ratio: SMT ≥ 2/3 · MST. Any heuristic tree must
+	// respect the lower bound (it cannot beat the optimum).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		gen := netlist.NewGenerator(rng.Int63())
+		net, err := gen.Generate(4 + rng.Intn(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := Tree(net.Pins, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.Cost() < (2.0/3.0)*mst.Cost(net.Pins)-1e-9 {
+			t.Fatalf("cost %.0f below the Steiner-ratio bound for MST %.0f",
+				topo.Cost(), mst.Cost(net.Pins))
+		}
+	}
+}
+
+func TestSpansAllPins(t *testing.T) {
+	gen := netlist.NewGenerator(3)
+	net, err := gen.Generate(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := Tree(net.Pins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("tree must span all pins")
+	}
+	if topo.NumPins() != 15 {
+		t.Errorf("NumPins = %d", topo.NumPins())
+	}
+	for i, p := range net.Pins {
+		if !topo.Point(i).Eq(p) {
+			t.Errorf("pin %d relocated", i)
+		}
+	}
+}
+
+func TestNoUselessSteinerPoints(t *testing.T) {
+	// After pruning and compaction every Steiner node must branch (deg ≥ 3).
+	gen := netlist.NewGenerator(11)
+	for trial := 0; trial < 10; trial++ {
+		net, err := gen.Generate(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := Tree(net.Pins, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := topo.NumPins(); n < topo.NumNodes(); n++ {
+			if topo.Degree(n) < 3 {
+				t.Fatalf("Steiner node %d has degree %d", n, topo.Degree(n))
+			}
+		}
+	}
+}
+
+func TestMaxSteinerPointsRespected(t *testing.T) {
+	gen := netlist.NewGenerator(13)
+	net, err := gen.Generate(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := Tree(net.Pins, Options{MaxSteinerPoints: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := topo.NumNodes() - topo.NumPins(); s > 1 {
+		t.Errorf("%d Steiner points with MaxSteinerPoints=1", s)
+	}
+}
+
+func TestRegenerateCandidatesStillValid(t *testing.T) {
+	gen := netlist.NewGenerator(17)
+	net, err := gen.Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := Tree(net.Pins, Options{RegenerateCandidates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.IsTree() || topo.Cost() > mst.Cost(net.Pins)+1e-9 {
+		t.Error("regenerated-candidate tree invalid")
+	}
+}
+
+func TestTwoPinNet(t *testing.T) {
+	topo, err := Tree([]geom.Point{{X: 0, Y: 0}, {X: 30, Y: 40}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Cost() != 70 || topo.NumNodes() != 2 {
+		t.Errorf("two-pin: cost %v, %d nodes", topo.Cost(), topo.NumNodes())
+	}
+}
+
+func TestTooFewPins(t *testing.T) {
+	if _, err := Tree([]geom.Point{{X: 1, Y: 1}}, Options{}); err != ErrTooFewPins {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestPruneRemovesLeafSteiner(t *testing.T) {
+	pins := []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}}
+	topo := graph.NewTopologyWithSteiner(pins, []geom.Point{{X: 50, Y: 50}})
+	if err := topo.AddEdge(graph.Edge{U: 0, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddEdge(graph.Edge{U: 0, V: 2}); err != nil {
+		t.Fatal(err)
+	}
+	Prune(topo)
+	if topo.Degree(2) != 0 {
+		t.Error("leaf Steiner node must be pruned")
+	}
+	if !topo.HasEdge(graph.Edge{U: 0, V: 1}) {
+		t.Error("pin edge must survive")
+	}
+}
+
+func TestPruneShortsDegree2Steiner(t *testing.T) {
+	pins := []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 100}}
+	topo := graph.NewTopologyWithSteiner(pins, []geom.Point{{X: 100, Y: 0}})
+	if err := topo.AddEdge(graph.Edge{U: 0, V: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddEdge(graph.Edge{U: 2, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	costBefore := topo.Cost()
+	Prune(topo)
+	if topo.Degree(2) != 0 {
+		t.Error("degree-2 Steiner node must be shorted")
+	}
+	if !topo.HasEdge(graph.Edge{U: 0, V: 1}) {
+		t.Error("bridge edge must exist")
+	}
+	if topo.Cost() > costBefore+1e-9 {
+		t.Errorf("pruning increased cost %v → %v", costBefore, topo.Cost())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	gen1 := netlist.NewGenerator(23)
+	net1, _ := gen1.Generate(10)
+	gen2 := netlist.NewGenerator(23)
+	net2, _ := gen2.Generate(10)
+	t1, err := Tree(net1.Pins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Tree(net2.Pins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Cost() != t2.Cost() || t1.NumNodes() != t2.NumNodes() {
+		t.Error("Steiner construction is not deterministic")
+	}
+}

@@ -1,0 +1,187 @@
+// Package viz renders routing topologies as SVG drawings (in the style of
+// the paper's figures: pins as dots, the source as a distinguished square,
+// Steiner points as small squares, added non-tree edges highlighted) and
+// exports simulation waveforms as CSV for external plotting.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+)
+
+// Style controls SVG rendering.
+type Style struct {
+	// CanvasPx is the output square's side in pixels (default 480).
+	CanvasPx float64
+	// Margin is the padding around the drawing in pixels (default 24).
+	Margin float64
+	// EdgeColor and HighlightColor style base and highlighted edges.
+	EdgeColor, HighlightColor string
+	// Rectilinear draws each edge as an L-shaped (horizontal-then-vertical)
+	// route, as wires are actually embedded in Manhattan routing; false
+	// draws straight lines.
+	Rectilinear bool
+}
+
+// DefaultStyle returns the style used by the figure tooling.
+func DefaultStyle() Style {
+	return Style{
+		CanvasPx:       480,
+		Margin:         24,
+		EdgeColor:      "#444444",
+		HighlightColor: "#cc2200",
+		Rectilinear:    true,
+	}
+}
+
+// SVG writes an SVG drawing of the topology. Edges in highlight are drawn
+// in the highlight colour (the added non-tree wires in the paper's
+// figures).
+func SVG(w io.Writer, t *graph.Topology, highlight []graph.Edge, style Style) error {
+	if style.CanvasPx <= 0 {
+		style.CanvasPx = 480
+	}
+	if style.Margin < 0 {
+		style.Margin = 0
+	}
+	if style.EdgeColor == "" {
+		style.EdgeColor = "#444444"
+	}
+	if style.HighlightColor == "" {
+		style.HighlightColor = "#cc2200"
+	}
+
+	hl := make(map[graph.Edge]bool, len(highlight))
+	for _, e := range highlight {
+		hl[e.Canon()] = true
+	}
+
+	box := geom.BoundingBox(t.Points())
+	span := math.Max(box.Width(), box.Height())
+	if span == 0 {
+		span = 1
+	}
+	scale := (style.CanvasPx - 2*style.Margin) / span
+	tx := func(p geom.Point) (float64, float64) {
+		// SVG y grows downward; flip so the layout reads like a plan view.
+		x := style.Margin + (p.X-box.Min.X)*scale
+		y := style.CanvasPx - style.Margin - (p.Y-box.Min.Y)*scale
+		return x, y
+	}
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		style.CanvasPx, style.CanvasPx, style.CanvasPx, style.CanvasPx); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	drawEdge := func(e graph.Edge, color string, width float64) {
+		x1, y1 := tx(t.Point(e.U))
+		x2, y2 := tx(t.Point(e.V))
+		if style.Rectilinear && x1 != x2 && y1 != y2 {
+			fmt.Fprintf(w, `<polyline points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+				x1, y1, x2, y1, x2, y2, color, width)
+		} else {
+			fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+				x1, y1, x2, y2, color, width)
+		}
+	}
+	// Base edges under highlights.
+	for _, e := range t.Edges() {
+		if !hl[e] {
+			drawEdge(e, style.EdgeColor, 1.5)
+		}
+	}
+	for _, e := range t.Edges() {
+		if hl[e] {
+			drawEdge(e, style.HighlightColor, 2.5)
+		}
+	}
+
+	for n := 0; n < t.NumNodes(); n++ {
+		x, y := tx(t.Point(n))
+		switch {
+		case n == 0:
+			// Source: filled square, as in the paper's figures.
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="#0044cc"/>`+"\n", x-5, y-5)
+		case t.IsSteiner(n):
+			// Steiner point: small open square.
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="6" height="6" fill="white" stroke="#444444"/>`+"\n", x-3, y-3)
+		default:
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="4" fill="#111111"/>`+"\n", x, y)
+		}
+		if n < t.NumPins() {
+			fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif" fill="#555555">n%d</text>`+"\n",
+				x+6, y-6, n)
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// View is a topology snapshot decoupled from the graph package: node
+// locations (µm), pin count (node 0 is the source; nodes ≥ NumPins are
+// Steiner points), and edges as index pairs. It mirrors expt.TopologyView
+// so figure stages can be drawn without importing graph.
+type View struct {
+	Points  [][2]float64
+	NumPins int
+	Edges   [][2]int
+}
+
+// SVGView renders a View like SVG renders a Topology; highlight lists
+// edges (by index pair, either orientation) to draw in the highlight
+// colour.
+func SVGView(w io.Writer, v View, highlight [][2]int, style Style) error {
+	t := graph.NewTopology(nil)
+	// Rebuild a throwaway topology: pins first, then Steiner points.
+	pins := make([]geom.Point, 0, v.NumPins)
+	for i := 0; i < v.NumPins && i < len(v.Points); i++ {
+		pins = append(pins, geom.Point{X: v.Points[i][0], Y: v.Points[i][1]})
+	}
+	var steiner []geom.Point
+	for i := v.NumPins; i < len(v.Points); i++ {
+		steiner = append(steiner, geom.Point{X: v.Points[i][0], Y: v.Points[i][1]})
+	}
+	t = graph.NewTopologyWithSteiner(pins, steiner)
+	for _, e := range v.Edges {
+		if err := t.AddEdge(graph.Edge{U: e[0], V: e[1]}); err != nil {
+			return fmt.Errorf("viz: rebuilding view edge %v: %w", e, err)
+		}
+	}
+	hl := make([]graph.Edge, 0, len(highlight))
+	for _, e := range highlight {
+		hl = append(hl, graph.Edge{U: e[0], V: e[1]})
+	}
+	return SVG(w, t, hl, style)
+}
+
+// WaveformCSV writes simulation waveforms as CSV: a time column followed
+// by one column per labeled node series. All series must align with times.
+func WaveformCSV(w io.Writer, times []float64, series map[string][]float64, order []string) error {
+	for _, label := range order {
+		if len(series[label]) != len(times) {
+			return fmt.Errorf("viz: series %q has %d samples for %d times", label, len(series[label]), len(times))
+		}
+	}
+	if _, err := fmt.Fprint(w, "time_s"); err != nil {
+		return err
+	}
+	for _, label := range order {
+		fmt.Fprintf(w, ",%s", label)
+	}
+	fmt.Fprintln(w)
+	for i, tm := range times {
+		fmt.Fprintf(w, "%g", tm)
+		for _, label := range order {
+			fmt.Fprintf(w, ",%g", series[label][i])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

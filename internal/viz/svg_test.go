@@ -1,0 +1,154 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+)
+
+func demoTopology(t *testing.T) *graph.Topology {
+	t.Helper()
+	topo := graph.NewTopologyWithSteiner(
+		[]geom.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}, {X: 1000, Y: 1000}},
+		[]geom.Point{{X: 500, Y: 500}},
+	)
+	for _, e := range []graph.Edge{{U: 0, V: 3}, {U: 1, V: 3}, {U: 2, V: 3}} {
+		if err := topo.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return topo
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	topo := demoTopology(t)
+	var sb strings.Builder
+	if err := SVG(&sb, topo, nil, DefaultStyle()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	// One source square (blue), one Steiner open square, two sink circles.
+	if strings.Count(out, `fill="#0044cc"`) != 1 {
+		t.Error("source marker missing or duplicated")
+	}
+	if strings.Count(out, "<circle") != 2 {
+		t.Errorf("sink circles = %d, want 2", strings.Count(out, "<circle"))
+	}
+	// Rectilinear default: diagonal edges render as polylines.
+	if !strings.Contains(out, "<polyline") {
+		t.Error("rectilinear edges missing")
+	}
+	// Pin labels.
+	for _, label := range []string{">n0<", ">n1<", ">n2<"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("missing pin label %s", label)
+		}
+	}
+}
+
+func TestSVGHighlight(t *testing.T) {
+	topo := demoTopology(t)
+	var sb strings.Builder
+	err := SVG(&sb, topo, []graph.Edge{{U: 3, V: 0}}, DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), DefaultStyle().HighlightColor) {
+		t.Error("highlight colour missing")
+	}
+}
+
+func TestSVGStraightLineStyle(t *testing.T) {
+	topo := demoTopology(t)
+	style := DefaultStyle()
+	style.Rectilinear = false
+	var sb strings.Builder
+	if err := SVG(&sb, topo, nil, style); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "<polyline") {
+		t.Error("straight-line style must not emit polylines")
+	}
+	if !strings.Contains(sb.String(), "<line") {
+		t.Error("straight-line style must emit lines")
+	}
+}
+
+func TestSVGZeroValueStyleDefaults(t *testing.T) {
+	topo := demoTopology(t)
+	var sb strings.Builder
+	if err := SVG(&sb, topo, nil, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `width="480"`) {
+		t.Error("zero style must default the canvas size")
+	}
+}
+
+func TestSVGDegeneratePointCloud(t *testing.T) {
+	// A single-pin "net" (not routable, but drawable) must not divide by
+	// zero when all points coincide in extent.
+	topo := graph.NewTopology([]geom.Point{{X: 5, Y: 5}})
+	var sb strings.Builder
+	if err := SVG(&sb, topo, nil, DefaultStyle()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("degenerate drawing failed")
+	}
+}
+
+func TestWaveformCSV(t *testing.T) {
+	times := []float64{0, 1e-9, 2e-9}
+	series := map[string][]float64{
+		"a": {0, 0.5, 1},
+		"b": {0, 0.25, 0.75},
+	}
+	var sb strings.Builder
+	if err := WaveformCSV(&sb, times, series, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "time_s,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != "1e-09,0.5,0.25" {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestWaveformCSVLengthMismatch(t *testing.T) {
+	err := WaveformCSV(&strings.Builder{}, []float64{0, 1}, map[string][]float64{"a": {0}}, []string{"a"})
+	if err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestSVGView(t *testing.T) {
+	v := View{
+		Points:  [][2]float64{{0, 0}, {1000, 0}, {1000, 1000}, {500, 500}},
+		NumPins: 3,
+		Edges:   [][2]int{{0, 3}, {1, 3}, {2, 3}},
+	}
+	var sb strings.Builder
+	if err := SVGView(&sb, v, [][2]int{{0, 3}}, DefaultStyle()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, DefaultStyle().HighlightColor) {
+		t.Error("view rendering incomplete")
+	}
+	// Bad edge must error, not panic.
+	bad := View{Points: [][2]float64{{0, 0}}, NumPins: 1, Edges: [][2]int{{0, 5}}}
+	if err := SVGView(&strings.Builder{}, bad, nil, DefaultStyle()); err == nil {
+		t.Error("out-of-range view edge must error")
+	}
+}

@@ -1,0 +1,482 @@
+// Package sta is a small static timing analyzer for combinational designs:
+// the substrate that makes the paper's critical-sink formulation (Section
+// 5.1) actionable. The paper assumes sink criticalities α_i "reflecting the
+// timing information obtained during the performance-driven placement
+// phase"; this package computes exactly that information — arrival times,
+// required times, slacks, and the critical path — over a design whose nets
+// are routed by this repository's algorithms.
+//
+// The model: a design is a set of signal nets and gates. Each net has one
+// driver (a primary input or a gate output) and sinks (gate inputs or
+// primary outputs). Gates add an intrinsic delay; nets add the per-sink
+// interconnect delays measured by the delay models in this module. Arrival
+// times propagate forward, required times backward from the clock period,
+// and slack = required − arrival.
+package sta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PinRef addresses one sink pin of one net: sink index s refers to the
+// net's pin s+1 (pin 0 is the driver).
+type PinRef struct {
+	Net  int
+	Sink int
+}
+
+// Gate is a combinational cell: it becomes valid when all fan-in pins have
+// arrived, adds Delay, and drives an output net.
+type Gate struct {
+	// Name identifies the gate in reports.
+	Name string
+	// Delay is the intrinsic cell delay in seconds.
+	Delay float64
+	// FanIn lists the sink pins feeding this gate.
+	FanIn []PinRef
+	// Drives is the net index whose source this gate drives, or -1 if the
+	// gate feeds a primary output directly (its arrival is then checked
+	// against the clock at the gate itself).
+	Drives int
+}
+
+// Design is a combinational netlist ready for timing analysis.
+type Design struct {
+	// NumNets is the net count; nets are referenced by index.
+	NumNets int
+	// SinkCount[n] is the number of sinks of net n.
+	SinkCount []int
+	// NetDelay[n][s] is the interconnect delay (seconds) from net n's
+	// driver to its sink s — produced by routing each net and measuring it
+	// with any of this module's delay models.
+	NetDelay [][]float64
+	// Gates lists the design's cells.
+	Gates []Gate
+	// PrimaryInputs lists nets driven by primary inputs (arrival time 0 at
+	// their drivers).
+	PrimaryInputs []int
+	// PrimaryOutputs lists sink pins that leave the design; their arrival
+	// is checked against the clock period.
+	PrimaryOutputs []PinRef
+}
+
+// Validation and analysis errors.
+var (
+	ErrNoTiming      = errors.New("sta: design has no primary inputs")
+	ErrCombinational = errors.New("sta: design contains a combinational cycle")
+	ErrBadRef        = errors.New("sta: reference out of range")
+	ErrMultiDriver   = errors.New("sta: net has multiple drivers")
+	ErrNoDriver      = errors.New("sta: net has no driver")
+)
+
+// Validate checks structural consistency: every net has exactly one driver
+// (a primary input or one gate), all references in range.
+func (d *Design) Validate() error {
+	if len(d.SinkCount) != d.NumNets || len(d.NetDelay) != d.NumNets {
+		return fmt.Errorf("%w: per-net slices must have NumNets entries", ErrBadRef)
+	}
+	for n := 0; n < d.NumNets; n++ {
+		if len(d.NetDelay[n]) != d.SinkCount[n] {
+			return fmt.Errorf("%w: net %d has %d delays for %d sinks",
+				ErrBadRef, n, len(d.NetDelay[n]), d.SinkCount[n])
+		}
+	}
+	driver := make([]int, d.NumNets) // 0 = none, 1 = one
+	for _, n := range d.PrimaryInputs {
+		if n < 0 || n >= d.NumNets {
+			return fmt.Errorf("%w: primary input net %d", ErrBadRef, n)
+		}
+		driver[n]++
+	}
+	for gi, g := range d.Gates {
+		if g.Drives >= d.NumNets {
+			return fmt.Errorf("%w: gate %d drives net %d", ErrBadRef, gi, g.Drives)
+		}
+		if g.Drives >= 0 {
+			driver[g.Drives]++
+		}
+		for _, p := range g.FanIn {
+			if err := d.checkPin(p); err != nil {
+				return fmt.Errorf("gate %d (%s): %w", gi, g.Name, err)
+			}
+		}
+	}
+	for _, p := range d.PrimaryOutputs {
+		if err := d.checkPin(p); err != nil {
+			return fmt.Errorf("primary output: %w", err)
+		}
+	}
+	for n := 0; n < d.NumNets; n++ {
+		switch {
+		case driver[n] == 0:
+			return fmt.Errorf("%w: net %d", ErrNoDriver, n)
+		case driver[n] > 1:
+			return fmt.Errorf("%w: net %d has %d drivers", ErrMultiDriver, n, driver[n])
+		}
+	}
+	if len(d.PrimaryInputs) == 0 {
+		return ErrNoTiming
+	}
+	return nil
+}
+
+func (d *Design) checkPin(p PinRef) error {
+	if p.Net < 0 || p.Net >= d.NumNets {
+		return fmt.Errorf("%w: net %d", ErrBadRef, p.Net)
+	}
+	if p.Sink < 0 || p.Sink >= d.SinkCount[p.Net] {
+		return fmt.Errorf("%w: sink %d of net %d", ErrBadRef, p.Sink, p.Net)
+	}
+	return nil
+}
+
+// Timing is the result of analysis.
+type Timing struct {
+	// NetArrival[n] is the arrival time at net n's driver.
+	NetArrival []float64
+	// SinkArrival[n][s] is the arrival time at net n's sink s.
+	SinkArrival [][]float64
+	// SinkRequired[n][s] is the required time for the same pin.
+	SinkRequired [][]float64
+	// WorstArrival is the design's latest primary-output arrival — the
+	// minimum feasible clock period.
+	WorstArrival float64
+	// ClockPeriod is the constraint required times were derived from.
+	ClockPeriod float64
+}
+
+// Slack returns required − arrival at a sink pin; negative means the path
+// through the pin violates the clock period.
+func (t *Timing) Slack(p PinRef) float64 {
+	return t.SinkRequired[p.Net][p.Sink] - t.SinkArrival[p.Net][p.Sink]
+}
+
+// WorstSlack returns the smallest slack in the design.
+func (t *Timing) WorstSlack() float64 {
+	worst := math.Inf(1)
+	for n := range t.SinkArrival {
+		for s := range t.SinkArrival[n] {
+			if sl := t.Slack(PinRef{Net: n, Sink: s}); sl < worst {
+				worst = sl
+			}
+		}
+	}
+	return worst
+}
+
+// Analyze propagates arrival times forward and required times backward
+// against the given clock period.
+func (d *Design) Analyze(clockPeriod float64) (*Timing, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := d.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Timing{
+		NetArrival:   make([]float64, d.NumNets),
+		SinkArrival:  make([][]float64, d.NumNets),
+		SinkRequired: make([][]float64, d.NumNets),
+		ClockPeriod:  clockPeriod,
+	}
+	for n := 0; n < d.NumNets; n++ {
+		t.SinkArrival[n] = make([]float64, d.SinkCount[n])
+		t.SinkRequired[n] = make([]float64, d.SinkCount[n])
+		t.NetArrival[n] = math.Inf(-1)
+	}
+	for _, n := range d.PrimaryInputs {
+		t.NetArrival[n] = 0
+	}
+
+	// Forward pass in gate topological order.
+	for _, gi := range order {
+		g := &d.Gates[gi]
+		arrival := 0.0
+		for _, p := range g.FanIn {
+			a := t.NetArrival[p.Net] + d.NetDelay[p.Net][p.Sink]
+			if a > arrival {
+				arrival = a
+			}
+		}
+		arrival += g.Delay
+		if g.Drives >= 0 {
+			t.NetArrival[g.Drives] = arrival
+		}
+	}
+	// Sink arrivals everywhere.
+	for n := 0; n < d.NumNets; n++ {
+		for s := 0; s < d.SinkCount[n]; s++ {
+			t.SinkArrival[n][s] = t.NetArrival[n] + d.NetDelay[n][s]
+		}
+	}
+	for _, p := range d.PrimaryOutputs {
+		if a := t.SinkArrival[p.Net][p.Sink]; a > t.WorstArrival {
+			t.WorstArrival = a
+		}
+	}
+
+	// Backward pass: required time at each sink pin.
+	netRequired := make([]float64, d.NumNets)
+	for n := range netRequired {
+		netRequired[n] = math.Inf(1)
+	}
+	for _, p := range d.PrimaryOutputs {
+		t.SinkRequired[p.Net][p.Sink] = clockPeriod
+	}
+	// Initialize non-PO sinks to +inf; tighten through gates in reverse
+	// topological order.
+	poSet := make(map[PinRef]bool, len(d.PrimaryOutputs))
+	for _, p := range d.PrimaryOutputs {
+		poSet[p] = true
+	}
+	for n := 0; n < d.NumNets; n++ {
+		for s := 0; s < d.SinkCount[n]; s++ {
+			if !poSet[PinRef{Net: n, Sink: s}] {
+				t.SinkRequired[n][s] = math.Inf(1)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		g := &d.Gates[order[i]]
+		// Required at the gate output net's driver.
+		req := math.Inf(1)
+		if g.Drives >= 0 {
+			for s := 0; s < d.SinkCount[g.Drives]; s++ {
+				if r := t.SinkRequired[g.Drives][s] - d.NetDelay[g.Drives][s]; r < req {
+					req = r
+				}
+			}
+			if req < netRequired[g.Drives] {
+				netRequired[g.Drives] = req
+			}
+		} else {
+			req = clockPeriod
+		}
+		// Propagate through the gate to its fan-in pins.
+		for _, p := range g.FanIn {
+			if r := req - g.Delay; r < t.SinkRequired[p.Net][p.Sink] {
+				t.SinkRequired[p.Net][p.Sink] = r
+			}
+		}
+	}
+	return t, nil
+}
+
+// topoOrder returns gate indices in topological order of the net/gate
+// DAG, or ErrCombinational on a cycle.
+func (d *Design) topoOrder() ([]int, error) {
+	// gateOfNet[n] = driving gate or -1.
+	gateOfNet := make([]int, d.NumNets)
+	for n := range gateOfNet {
+		gateOfNet[n] = -1
+	}
+	for gi, g := range d.Gates {
+		if g.Drives >= 0 {
+			gateOfNet[g.Drives] = gi
+		}
+	}
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]int, len(d.Gates))
+	order := make([]int, 0, len(d.Gates))
+	var visit func(gi int) error
+	visit = func(gi int) error {
+		switch state[gi] {
+		case done:
+			return nil
+		case visiting:
+			return ErrCombinational
+		}
+		state[gi] = visiting
+		for _, p := range d.Gates[gi].FanIn {
+			if up := gateOfNet[p.Net]; up >= 0 {
+				if err := visit(up); err != nil {
+					return err
+				}
+			}
+		}
+		state[gi] = done
+		order = append(order, gi)
+		return nil
+	}
+	for gi := range d.Gates {
+		if err := visit(gi); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Criticalities converts a timing result into the α weights of the
+// paper's CSORG formulation for one net: sinks with the least slack get
+// the largest weights. The mapping is linear in slack deficit,
+//
+//	α_s = max(0, (worst-net-slack-threshold − slack_s)) normalized to max 1,
+//
+// with sinks at or above the threshold getting 0. Threshold defaults to
+// the net's best slack when sharpen is false (all sinks weighted by
+// relative criticality), or to just above the net's worst slack when
+// sharpen is true (only the most critical sink(s) weighted) — the paper's
+// "exactly one critical sink" special case.
+func Criticalities(t *Timing, net int, sharpen bool) []float64 {
+	n := len(t.SinkArrival[net])
+	alphas := make([]float64, n)
+
+	// Off-path sinks carry +Inf slack (nothing requires them); they get
+	// weight 0 and are excluded from the threshold computation.
+	worst, best := math.Inf(1), math.Inf(-1)
+	finite := 0
+	for s := 0; s < n; s++ {
+		sl := t.Slack(PinRef{Net: net, Sink: s})
+		if math.IsInf(sl, 1) {
+			continue
+		}
+		finite++
+		if sl < worst {
+			worst = sl
+		}
+		if sl > best {
+			best = sl
+		}
+	}
+	if finite == 0 {
+		// No sink is constrained; weight uniformly (degenerates to the
+		// average-delay objective, the paper's α ≡ const case).
+		for s := range alphas {
+			alphas[s] = 1
+		}
+		return alphas
+	}
+	if best == worst {
+		// All constrained sinks equally critical.
+		for s := 0; s < n; s++ {
+			if !math.IsInf(t.Slack(PinRef{Net: net, Sink: s}), 1) {
+				alphas[s] = 1
+			}
+		}
+		return alphas
+	}
+	threshold := best
+	if sharpen {
+		threshold = worst + 1e-12*(best-worst)
+	}
+	maxDeficit := 0.0
+	for s := 0; s < n; s++ {
+		sl := t.Slack(PinRef{Net: net, Sink: s})
+		if math.IsInf(sl, 1) {
+			continue
+		}
+		if d := threshold - sl; d > maxDeficit {
+			maxDeficit = d
+		}
+	}
+	if maxDeficit <= 0 {
+		for s := 0; s < n; s++ {
+			if !math.IsInf(t.Slack(PinRef{Net: net, Sink: s}), 1) {
+				alphas[s] = 1
+			}
+		}
+		return alphas
+	}
+	for s := 0; s < n; s++ {
+		sl := t.Slack(PinRef{Net: net, Sink: s})
+		if math.IsInf(sl, 1) {
+			continue
+		}
+		if d := threshold - sl; d > 0 {
+			alphas[s] = d / maxDeficit
+		}
+	}
+	return alphas
+}
+
+// MostCriticalNet returns the net containing the worst-slack sink.
+func MostCriticalNet(t *Timing) (int, PinRef) {
+	worst := math.Inf(1)
+	var at PinRef
+	for n := range t.SinkArrival {
+		for s := range t.SinkArrival[n] {
+			p := PinRef{Net: n, Sink: s}
+			if sl := t.Slack(p); sl < worst {
+				worst = sl
+				at = p
+			}
+		}
+	}
+	return at.Net, at
+}
+
+// PathElement is one hop of a critical path: the signal leaves net Net at
+// sink Sink, having been driven through gate Gate (index into
+// Design.Gates, or -1 when the net is driven by a primary input).
+type PathElement struct {
+	Net  int
+	Sink int
+	Gate int
+}
+
+// CriticalPath walks the worst-arrival path backward from the latest
+// primary output to a primary input, returning the pin/gate sequence in
+// signal order. It reports which interconnect actually limits the clock —
+// the nets worth re-routing.
+func (d *Design) CriticalPath(t *Timing) ([]PathElement, error) {
+	if len(d.PrimaryOutputs) == 0 {
+		return nil, errors.New("sta: no primary outputs")
+	}
+	// Latest primary-output pin.
+	var end PinRef
+	worst := math.Inf(-1)
+	for _, p := range d.PrimaryOutputs {
+		if a := t.SinkArrival[p.Net][p.Sink]; a > worst {
+			worst = a
+			end = p
+		}
+	}
+	gateOfNet := make([]int, d.NumNets)
+	for n := range gateOfNet {
+		gateOfNet[n] = -1
+	}
+	for gi, g := range d.Gates {
+		if g.Drives >= 0 {
+			gateOfNet[g.Drives] = gi
+		}
+	}
+
+	var rev []PathElement
+	cur := end
+	for hop := 0; hop <= len(d.Gates)+1; hop++ {
+		gi := gateOfNet[cur.Net]
+		rev = append(rev, PathElement{Net: cur.Net, Sink: cur.Sink, Gate: gi})
+		if gi < 0 {
+			// Driven by a primary input: path complete; reverse into
+			// signal order.
+			out := make([]PathElement, len(rev))
+			for i := range rev {
+				out[i] = rev[len(rev)-1-i]
+			}
+			return out, nil
+		}
+		// Find the fan-in pin that determined the driving gate's arrival.
+		g := &d.Gates[gi]
+		gateArrival := t.NetArrival[cur.Net] - g.Delay
+		found := false
+		for _, p := range g.FanIn {
+			if math.Abs(t.SinkArrival[p.Net][p.Sink]-gateArrival) <= 1e-18+1e-12*math.Abs(gateArrival) {
+				cur = p
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sta: arrival bookkeeping inconsistent at gate %s", g.Name)
+		}
+	}
+	return nil, errors.New("sta: critical path walk did not terminate")
+}

@@ -1,0 +1,306 @@
+package sta
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// chainDesign builds: PI → net0 → G1 → net1 → G2 → net2 → PO
+// with two sinks per net (the second sink of nets 0 and 1 is unused
+// fan-out; net2's sinks are a PO and an unused branch).
+func chainDesign() *Design {
+	return &Design{
+		NumNets:   3,
+		SinkCount: []int{2, 2, 2},
+		NetDelay: [][]float64{
+			{1e-9, 0.5e-9},
+			{2e-9, 0.1e-9},
+			{1.5e-9, 3e-9},
+		},
+		Gates: []Gate{
+			{Name: "G1", Delay: 0.3e-9, FanIn: []PinRef{{Net: 0, Sink: 0}}, Drives: 1},
+			{Name: "G2", Delay: 0.2e-9, FanIn: []PinRef{{Net: 1, Sink: 0}}, Drives: 2},
+		},
+		PrimaryInputs:  []int{0},
+		PrimaryOutputs: []PinRef{{Net: 2, Sink: 0}, {Net: 2, Sink: 1}},
+	}
+}
+
+func TestChainArrivalTimes(t *testing.T) {
+	d := chainDesign()
+	timing, err := d.Analyze(10e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// net0 driver at 0; G1 out = 1 + 0.3 = 1.3; G2 out = 1.3+2+0.2 = 3.5.
+	if got := timing.NetArrival[1]; math.Abs(got-1.3e-9) > 1e-18 {
+		t.Errorf("net1 arrival %.3g", got)
+	}
+	if got := timing.NetArrival[2]; math.Abs(got-3.5e-9) > 1e-18 {
+		t.Errorf("net2 arrival %.3g", got)
+	}
+	// PO arrivals: 3.5+1.5 = 5.0 and 3.5+3 = 6.5 → worst 6.5.
+	if math.Abs(timing.WorstArrival-6.5e-9) > 1e-18 {
+		t.Errorf("worst arrival %.3g", timing.WorstArrival)
+	}
+}
+
+func TestChainSlacks(t *testing.T) {
+	d := chainDesign()
+	timing, err := d.Analyze(10e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slack at the slowest PO: 10 − 6.5 = 3.5 ns.
+	if got := timing.Slack(PinRef{Net: 2, Sink: 1}); math.Abs(got-3.5e-9) > 1e-18 {
+		t.Errorf("PO slack %.3g", got)
+	}
+	// The path pin net1/sink0 must carry the same worst slack.
+	if got := timing.Slack(PinRef{Net: 1, Sink: 0}); math.Abs(got-3.5e-9) > 1e-18 {
+		t.Errorf("on-path slack %.3g", got)
+	}
+	// Off-path fan-out pins have infinite slack (no requirement).
+	if got := timing.Slack(PinRef{Net: 0, Sink: 1}); !math.IsInf(got, 1) {
+		t.Errorf("off-path slack %.3g, want +Inf", got)
+	}
+	if ws := timing.WorstSlack(); math.Abs(ws-3.5e-9) > 1e-18 {
+		t.Errorf("worst slack %.3g", ws)
+	}
+}
+
+func TestNegativeSlackDetected(t *testing.T) {
+	d := chainDesign()
+	timing, err := d.Analyze(5e-9) // worst arrival is 6.5 ns
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := timing.WorstSlack(); math.Abs(ws-(-1.5e-9)) > 1e-18 {
+		t.Errorf("worst slack %.3g, want -1.5n", ws)
+	}
+}
+
+func TestReconvergentFanout(t *testing.T) {
+	// PI → net0 {sink0→G1, sink1→G2}; G1 → net1 → G3; G2 → net2 → G3;
+	// G3 → net3 → PO. The slower branch dominates.
+	d := &Design{
+		NumNets:   4,
+		SinkCount: []int{2, 1, 1, 1},
+		NetDelay: [][]float64{
+			{1e-9, 1e-9},
+			{5e-9}, // slow branch
+			{1e-9},
+			{1e-9},
+		},
+		Gates: []Gate{
+			{Name: "G1", Delay: 1e-9, FanIn: []PinRef{{Net: 0, Sink: 0}}, Drives: 1},
+			{Name: "G2", Delay: 1e-9, FanIn: []PinRef{{Net: 0, Sink: 1}}, Drives: 2},
+			{Name: "G3", Delay: 1e-9, FanIn: []PinRef{{Net: 1, Sink: 0}, {Net: 2, Sink: 0}}, Drives: 3},
+		},
+		PrimaryInputs:  []int{0},
+		PrimaryOutputs: []PinRef{{Net: 3, Sink: 0}},
+	}
+	timing, err := d.Analyze(20e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow branch: 1 + 1 + 5 = 7 at G3 input; G3 out at 8; PO at 9.
+	if math.Abs(timing.WorstArrival-9e-9) > 1e-18 {
+		t.Errorf("worst arrival %.3g", timing.WorstArrival)
+	}
+	// The slow branch pin is the critical one.
+	slow := timing.Slack(PinRef{Net: 1, Sink: 0})
+	fast := timing.Slack(PinRef{Net: 2, Sink: 0})
+	if slow >= fast {
+		t.Errorf("slow branch slack %.3g not below fast %.3g", slow, fast)
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	d := &Design{
+		NumNets:   2,
+		SinkCount: []int{1, 1},
+		NetDelay:  [][]float64{{1e-9}, {1e-9}},
+		Gates: []Gate{
+			{Name: "A", Delay: 1e-9, FanIn: []PinRef{{Net: 1, Sink: 0}}, Drives: 0},
+			{Name: "B", Delay: 1e-9, FanIn: []PinRef{{Net: 0, Sink: 0}}, Drives: 1},
+		},
+		PrimaryInputs:  nil,
+		PrimaryOutputs: []PinRef{{Net: 0, Sink: 0}},
+	}
+	// Both nets driven by gates, cycle A→B→A; also no PIs.
+	if _, err := d.Analyze(1e-9); err == nil {
+		t.Fatal("cycle must be rejected")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	base := chainDesign()
+
+	noDriver := *base
+	noDriver.Gates = []Gate{base.Gates[0]} // net2 loses its driver
+	if _, err := noDriver.Analyze(1e-9); !errors.Is(err, ErrNoDriver) {
+		t.Errorf("no driver: %v", err)
+	}
+
+	multi := chainDesign()
+	multi.PrimaryInputs = []int{0, 1} // net1 now double-driven
+	if _, err := multi.Analyze(1e-9); !errors.Is(err, ErrMultiDriver) {
+		t.Errorf("multi driver: %v", err)
+	}
+
+	badPin := chainDesign()
+	badPin.PrimaryOutputs = []PinRef{{Net: 9, Sink: 0}}
+	if _, err := badPin.Analyze(1e-9); !errors.Is(err, ErrBadRef) {
+		t.Errorf("bad pin: %v", err)
+	}
+
+	noPI := chainDesign()
+	noPI.PrimaryInputs = nil
+	if _, err := noPI.Analyze(1e-9); !errors.Is(err, ErrNoDriver) && !errors.Is(err, ErrNoTiming) {
+		t.Errorf("no PI: %v", err)
+	}
+}
+
+func TestCriticalities(t *testing.T) {
+	d := chainDesign()
+	timing, err := d.Analyze(7e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// net2: sink0 slack = 7−5 = 2n, sink1 slack = 7−6.5 = 0.5n.
+	alphas := Criticalities(timing, 2, false)
+	if len(alphas) != 2 {
+		t.Fatalf("alphas %v", alphas)
+	}
+	if alphas[1] != 1 {
+		t.Errorf("most critical sink must get weight 1: %v", alphas)
+	}
+	if alphas[0] >= alphas[1] {
+		t.Errorf("less critical sink must weigh less: %v", alphas)
+	}
+
+	sharp := Criticalities(timing, 2, true)
+	if sharp[1] != 1 || sharp[0] != 0 {
+		t.Errorf("sharpened weights must isolate the critical sink: %v", sharp)
+	}
+}
+
+func TestMostCriticalNet(t *testing.T) {
+	d := chainDesign()
+	timing, err := d.Analyze(7e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, pin := MostCriticalNet(timing)
+	// The critical path runs through every on-path pin with equal slack;
+	// any of them is acceptable, but the pin must carry the worst slack.
+	if timing.Slack(pin) != timing.WorstSlack() {
+		t.Errorf("MostCriticalNet pin slack %.3g != worst %.3g",
+			timing.Slack(pin), timing.WorstSlack())
+	}
+	if net != pin.Net {
+		t.Error("net/pin mismatch")
+	}
+}
+
+func TestUniformSlackGivesUniformAlphas(t *testing.T) {
+	d := chainDesign()
+	timing, err := d.Analyze(10e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force equal slacks artificially on net 0 by checking the equal-slack
+	// branch: net1 has sinks with slacks 3.5n and +Inf... use a net where
+	// both sinks are on the PO list instead.
+	_ = timing
+	d2 := &Design{
+		NumNets:        1,
+		SinkCount:      []int{2},
+		NetDelay:       [][]float64{{1e-9, 1e-9}},
+		PrimaryInputs:  []int{0},
+		PrimaryOutputs: []PinRef{{Net: 0, Sink: 0}, {Net: 0, Sink: 1}},
+	}
+	t2, err := d2.Analyze(5e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas := Criticalities(t2, 0, false)
+	if alphas[0] != 1 || alphas[1] != 1 {
+		t.Errorf("equal slacks must give uniform weights: %v", alphas)
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	d := chainDesign()
+	timing, err := d.Analyze(10e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := d.CriticalPath(timing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signal order: net0/sink0 (PI-driven) → net1/sink0 (via G1) → net2/sink1 (via G2).
+	want := []PathElement{
+		{Net: 0, Sink: 0, Gate: -1},
+		{Net: 1, Sink: 0, Gate: 0},
+		{Net: 2, Sink: 1, Gate: 1},
+	}
+	if len(path) != len(want) {
+		t.Fatalf("path %+v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("hop %d: %+v, want %+v", i, path[i], want[i])
+		}
+	}
+	// Every on-path pin carries the worst slack.
+	for _, el := range path {
+		if sl := timing.Slack(PinRef{Net: el.Net, Sink: el.Sink}); math.Abs(sl-timing.WorstSlack()) > 1e-18 {
+			t.Errorf("on-path pin %+v slack %.3g != worst %.3g", el, sl, timing.WorstSlack())
+		}
+	}
+}
+
+func TestCriticalPathReconvergent(t *testing.T) {
+	// From TestReconvergentFanout's design: the slow branch must be on the
+	// path.
+	d := &Design{
+		NumNets:   4,
+		SinkCount: []int{2, 1, 1, 1},
+		NetDelay: [][]float64{
+			{1e-9, 1e-9},
+			{5e-9},
+			{1e-9},
+			{1e-9},
+		},
+		Gates: []Gate{
+			{Name: "G1", Delay: 1e-9, FanIn: []PinRef{{Net: 0, Sink: 0}}, Drives: 1},
+			{Name: "G2", Delay: 1e-9, FanIn: []PinRef{{Net: 0, Sink: 1}}, Drives: 2},
+			{Name: "G3", Delay: 1e-9, FanIn: []PinRef{{Net: 1, Sink: 0}, {Net: 2, Sink: 0}}, Drives: 3},
+		},
+		PrimaryInputs:  []int{0},
+		PrimaryOutputs: []PinRef{{Net: 3, Sink: 0}},
+	}
+	timing, err := d.Analyze(20e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := d.CriticalPath(timing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	throughSlow := false
+	for _, el := range path {
+		if el.Net == 1 {
+			throughSlow = true
+		}
+		if el.Net == 2 {
+			t.Error("critical path must not use the fast branch")
+		}
+	}
+	if !throughSlow {
+		t.Errorf("critical path skipped the slow branch: %+v", path)
+	}
+}
