@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -573,6 +574,45 @@ func BenchmarkFastLDRG30(b *testing.B) {
 
 // BenchmarkLDRGNaive30 is the generic greedy with full refactorization per
 // candidate, for comparison against BenchmarkFastLDRG30.
+// benchParallelSweep times one full LDRG candidate sweep (MaxAddedEdges: 1
+// bounds the run to the seed evaluation plus a single sweep-and-commit) at
+// a given worker count. Sequential (w1) and parallel (wN) variants return
+// byte-identical results — the determinism guarantee of the sweep engine —
+// so the ratio of their ns/op is pure parallel speedup. On a multi-core
+// runner the GOMAXPROCS variant should beat w1 by well over 1.5× with the
+// SPICE oracle, whose per-candidate cost dwarfs the fan-out overhead.
+func benchParallelSweep(b *testing.B, oracle core.DelayOracle, workers int) {
+	b.Helper()
+	net := benchNet(b, 20)
+	topo, err := mst.Prim(net.Pins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Oracle: oracle, MaxAddedEdges: 1, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LDRG(topo, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelSweepElmore20W1(b *testing.B) {
+	benchParallelSweep(b, &core.ElmoreOracle{Params: rc.Default()}, 1)
+}
+
+func BenchmarkParallelSweepElmore20WMax(b *testing.B) {
+	benchParallelSweep(b, &core.ElmoreOracle{Params: rc.Default()}, runtime.GOMAXPROCS(0))
+}
+
+func BenchmarkParallelSweepSpice20W1(b *testing.B) {
+	benchParallelSweep(b, &core.SpiceOracle{Params: rc.Default()}, 1)
+}
+
+func BenchmarkParallelSweepSpice20WMax(b *testing.B) {
+	benchParallelSweep(b, &core.SpiceOracle{Params: rc.Default()}, runtime.GOMAXPROCS(0))
+}
+
 func BenchmarkLDRGNaive30(b *testing.B) {
 	net := benchNet(b, 30)
 	topo, err := mst.Prim(net.Pins)

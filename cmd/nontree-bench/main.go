@@ -39,6 +39,7 @@ func main() {
 		measure    = flag.String("measure", expt.OracleSpice, "measurement: spice or elmore")
 		segment    = flag.Float64("segment", 500, "π-segment length (µm) for measurement circuits")
 		inductance = flag.Bool("inductance", false, "include wire inductance (RLC model)")
+		workers    = flag.Int("workers", 1, "goroutines per greedy sweep (0 = one per CPU; results are identical either way)")
 		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of text tables")
 		svgDir     = flag.String("svgdir", "", "also write each figure stage as an SVG drawing into this directory")
 	)
@@ -51,6 +52,7 @@ func main() {
 	cfg.MeasureWith = *measure
 	cfg.SegmentLength = *segment
 	cfg.Inductance = *inductance
+	cfg.Workers = *workers
 
 	parsed, err := parseSizes(*sizes)
 	if err != nil {

@@ -70,6 +70,9 @@ func HORG(pins []geom.Point, alphas []float64, useSteiner bool, wsOpts WireSizeO
 	if wsOpts.Oracle == nil {
 		wsOpts.Oracle = opts.Oracle
 	}
+	if wsOpts.Workers == 0 {
+		wsOpts.Workers = opts.Workers
+	}
 	sizing, err := WireSize(routing.Topology, wsOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: HORG sizing stage: %w", err)

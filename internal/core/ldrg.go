@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"nontree/internal/graph"
 	"nontree/internal/rc"
@@ -32,6 +33,15 @@ type Options struct {
 	// routability constraints — e.g. embed.PlanarFilter rejects edges
 	// whose rectilinear embedding would cross existing wires.
 	CandidateFilter func(t *graph.Topology, e graph.Edge) bool
+	// Workers bounds the goroutines evaluating candidates concurrently
+	// inside each greedy sweep. 0 selects runtime.GOMAXPROCS(0); 1 forces
+	// the exact sequential legacy path. Any value yields byte-identical
+	// Results: every candidate is scored on a private Topology clone and
+	// the winner is chosen by (objective, then canonical edge order), the
+	// same tie-breaking the sequential scan applies. Oracles must be safe
+	// for concurrent SinkDelays calls when Workers != 1 (all oracles in
+	// this package are; see DelayOracle).
+	Workers int
 }
 
 func (o *Options) objective() Objective {
@@ -46,6 +56,20 @@ func (o *Options) minImprovement() float64 {
 		return 1e-9
 	}
 	return o.MinImprovement
+}
+
+func (o *Options) workers() int { return workerCount(o.Workers) }
+
+// workerCount resolves a Workers knob: 0 = one per CPU, anything below 1 is
+// clamped to sequential.
+func workerCount(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
 }
 
 // Result reports an algorithm run.
@@ -119,14 +143,10 @@ func LDRG(seed *graph.Topology, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// bestAddition scans every absent edge, returning the one with the lowest
-// objective if it beats cur by the improvement threshold.
-func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, float64, bool, error) {
-	bestVal := cur
-	var bestEdge graph.Edge
-	found := false
-	threshold := cur * (1 - opts.minImprovement())
-
+// candidateEdges returns the absent edges the greedy sweep should evaluate,
+// in canonical sorted order (the order that fixes tie-breaking).
+func candidateEdges(t *graph.Topology, opts *Options) []graph.Edge {
+	var out []graph.Edge
 	for _, e := range t.AbsentEdges() {
 		// Edges to isolated Steiner nodes are dead stubs: they only add
 		// capacitance (or even disconnect islands). Such nodes exist while
@@ -138,6 +158,26 @@ func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, 
 		if opts.CandidateFilter != nil && !opts.CandidateFilter(t, e) {
 			continue
 		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// bestAddition scans every absent edge, returning the one with the lowest
+// objective if it beats cur by the improvement threshold. With Workers != 1
+// the scan fans out over a worker pool (see parallel.go); the reducer keeps
+// the sequential scan's selection rule so results are identical either way.
+func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, float64, bool, error) {
+	cands := candidateEdges(t, opts)
+	if w := opts.workers(); w > 1 && len(cands) > 1 {
+		return bestAdditionParallel(t, opts, obj, cur, res, cands)
+	}
+	bestVal := cur
+	var bestEdge graph.Edge
+	found := false
+	threshold := cur * (1 - opts.minImprovement())
+
+	for _, e := range cands {
 		if err := t.AddEdge(e); err != nil {
 			return graph.Edge{}, 0, false, fmt.Errorf("core: trying edge %v: %w", e, err)
 		}
@@ -158,13 +198,23 @@ func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, 
 	return bestEdge, bestVal, found, nil
 }
 
-func score(t *graph.Topology, opts *Options, obj Objective, res *Result) (float64, error) {
+// scoreTopology is the oracle+objective evaluation with no side effects —
+// safe to call concurrently on distinct topologies.
+func scoreTopology(t *graph.Topology, opts *Options, obj Objective) (float64, error) {
 	delays, err := opts.Oracle.SinkDelays(t, opts.Width)
 	if err != nil {
 		return 0, err
 	}
-	res.Evaluations++
 	return obj.Eval(delays, t.NumPins())
+}
+
+func score(t *graph.Topology, opts *Options, obj Objective, res *Result) (float64, error) {
+	val, err := scoreTopology(t, opts, obj)
+	if err != nil {
+		return 0, err
+	}
+	res.Evaluations++
+	return val, nil
 }
 
 func checkSeed(seed *graph.Topology, opts *Options) error {

@@ -25,6 +25,16 @@ import (
 
 // DelayOracle estimates per-node signal delays of a routing topology.
 // Implementations must support arbitrary connected graphs (cycles allowed).
+//
+// Thread safety: when Options.Workers != 1 the greedy sweeps call SinkDelays
+// from multiple goroutines concurrently (each on its own Topology), so
+// implementations must not mutate shared state across calls — allocate
+// matrices, circuits and scratch buffers per invocation, or guard any reuse.
+// ElmoreOracle, TwoPoleOracle and SpiceOracle all satisfy this: their
+// configuration fields are read-only after construction and every evaluation
+// builds its workspaces from scratch (see the audit notes in package elmore
+// and package spice). The race-mode tests in parallel_test.go guard this
+// contract.
 type DelayOracle interface {
 	// SinkDelays returns a delay per topology node (indexed by node id;
 	// entries for non-sink nodes are implementation-defined). width gives
@@ -36,6 +46,7 @@ type DelayOracle interface {
 
 // ElmoreOracle evaluates delays with the general-graph Elmore model: a
 // single conductance solve per topology. Suitable for trees and graphs.
+// Safe for concurrent use.
 type ElmoreOracle struct {
 	Params rc.Params
 }
@@ -56,7 +67,7 @@ func (o *ElmoreOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]floa
 // model — markedly closer to the simulator than Elmore (≈2% vs ≈8% critical-
 // sink error in this repository's measurements) at the cost of one extra
 // linear solve per evaluation. Like ElmoreOracle it handles arbitrary
-// connected graphs.
+// connected graphs. Safe for concurrent use.
 type TwoPoleOracle struct {
 	Params rc.Params
 }
@@ -75,7 +86,8 @@ func (o *TwoPoleOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]flo
 
 // SpiceOracle evaluates delays with the transient circuit simulator — the
 // paper's SPICE methodology. Considerably slower than ElmoreOracle but
-// exact for the interconnect model.
+// exact for the interconnect model. Safe for concurrent use: every call
+// builds a fresh circuit and MNA workspace.
 type SpiceOracle struct {
 	Params rc.Params
 	// Build controls circuit construction (segmentation, inductance).

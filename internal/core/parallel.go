@@ -1,0 +1,156 @@
+// Parallel candidate evaluation for the greedy sweeps.
+//
+// The dominant cost of every algorithm in this package is the sweep over
+// absent edges (or taps), one oracle call per candidate. Candidates are
+// independent — each is "current topology plus one modification" — so the
+// sweep fans out over a worker pool. Three rules keep parallel runs
+// byte-identical to sequential ones:
+//
+//  1. Isolation: each worker evaluates candidates on its own Topology clone,
+//     never on the shared current topology, so the add/score/remove mutation
+//     dance of the sequential path cannot race. Oracles are required to be
+//     safe for concurrent SinkDelays calls (see DelayOracle); all oracles in
+//     this package allocate their matrices, circuits and scratch buffers per
+//     call and hold no shared mutable state.
+//  2. Deterministic reduction: workers record each candidate's objective by
+//     candidate index; the reducer then replays the sequential scan over the
+//     recorded values in canonical candidate order, so the winner is chosen
+//     by (objective, then canonical edge order) regardless of goroutine
+//     scheduling. Objective values themselves are bitwise reproducible
+//     because every evaluation stamps matrices/circuits in canonical edge
+//     order (see elmore.FactorConductance, rc.BuildCircuit).
+//  3. Non-racy accounting: workers count oracle invocations locally;
+//     the counts are summed into Result.Evaluations after the pool joins.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nontree/internal/geom"
+	"nontree/internal/graph"
+)
+
+// sweepOutcome records one candidate's evaluation.
+type sweepOutcome struct {
+	val float64
+	err error
+	ok  bool // evaluated (false only when the sweep aborted early)
+}
+
+// runSweep evaluates n candidates on a pool of goroutines. eval is called
+// with the candidate index and a worker-private clone of t; it must leave
+// the clone exactly as it found it (or return an error). On the first error
+// remaining candidates are skipped.
+func runSweep(t *graph.Topology, workers, n int, eval func(i int, clone *graph.Topology) (float64, error)) ([]sweepOutcome, int) {
+	outcomes := make([]sweepOutcome, n)
+	if workers > n {
+		workers = n
+	}
+	var next, evals atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := t.Clone()
+			var localEvals int64
+			defer func() { evals.Add(localEvals) }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				val, err := eval(i, clone)
+				if err != nil {
+					outcomes[i] = sweepOutcome{err: err, ok: true}
+					failed.Store(true)
+					return
+				}
+				localEvals++
+				outcomes[i] = sweepOutcome{val: val, ok: true}
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes, int(evals.Load())
+}
+
+// reduceSweep replays the sequential selection rule over recorded outcomes:
+// the first (in candidate order) strict improvement over the running best
+// wins, so equal objectives resolve to the earliest candidate — the same
+// tie-breaking the sequential scan applies. Returns the index of the winner,
+// or -1. An error in any outcome surfaces as the error of the earliest
+// erroring candidate.
+func reduceSweep(outcomes []sweepOutcome, cur, threshold float64) (int, float64, error) {
+	for i := range outcomes {
+		if outcomes[i].err != nil {
+			return -1, 0, outcomes[i].err
+		}
+	}
+	best, bestVal := -1, cur
+	for i := range outcomes {
+		if !outcomes[i].ok {
+			continue // unreachable without an error, but stay defensive
+		}
+		if v := outcomes[i].val; v < bestVal && v < threshold {
+			best, bestVal = i, v
+		}
+	}
+	return best, bestVal, nil
+}
+
+// bestAdditionParallel is the worker-pool form of bestAddition: identical
+// selection, candidates partitioned across opts.workers() goroutines.
+func bestAdditionParallel(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, cands []graph.Edge) (graph.Edge, float64, bool, error) {
+	outcomes, evals := runSweep(t, opts.workers(), len(cands), func(i int, clone *graph.Topology) (float64, error) {
+		e := cands[i]
+		if err := clone.AddEdge(e); err != nil {
+			return 0, fmt.Errorf("core: trying edge %v: %w", e, err)
+		}
+		val, err := scoreTopology(clone, opts, obj)
+		rmErr := clone.RemoveEdge(e)
+		if err != nil {
+			return 0, fmt.Errorf("core: evaluating edge %v: %w", e, err)
+		}
+		if rmErr != nil {
+			return 0, fmt.Errorf("core: reverting edge %v: %w", e, rmErr)
+		}
+		return val, nil
+	})
+	res.Evaluations += evals
+	best, bestVal, err := reduceSweep(outcomes, cur, cur*(1-opts.minImprovement()))
+	if err != nil {
+		return graph.Edge{}, 0, false, err
+	}
+	if best < 0 {
+		return graph.Edge{}, cur, false, nil
+	}
+	return cands[best], bestVal, true, nil
+}
+
+// tapCandidate is one mid-edge tap considered by LDRGWithTaps.
+type tapCandidate struct {
+	edge  graph.Edge
+	point geom.Point
+}
+
+// bestTapParallel is the worker-pool form of bestTap. scoreTapped applies
+// each split to a fresh clone and leaves the worker's base clone untouched,
+// so every candidate's circuit is exactly "current topology + this tap".
+func bestTapParallel(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, cands []tapCandidate) (graph.Edge, geom.Point, float64, bool, error) {
+	outcomes, evals := runSweep(t, opts.workers(), len(cands), func(i int, clone *graph.Topology) (float64, error) {
+		return scoreTapped(clone, opts, obj, cands[i].edge, cands[i].point)
+	})
+	res.Evaluations += evals
+	best, bestVal, err := reduceSweep(outcomes, cur, cur*(1-opts.minImprovement()))
+	if err != nil {
+		return graph.Edge{}, geom.Point{}, 0, false, err
+	}
+	if best < 0 {
+		return graph.Edge{}, geom.Point{}, cur, false, nil
+	}
+	return cands[best].edge, cands[best].point, bestVal, true, nil
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nontree/internal/graph"
+	"nontree/internal/netlist"
+	"nontree/internal/steiner"
+)
+
+// sameResult asserts the fields the determinism guarantee covers are
+// byte-identical: added edges, the full objective trace, the final
+// objective, and the oracle-invocation count.
+func sameResult(t *testing.T, label string, seq, par *Result) {
+	t.Helper()
+	if len(seq.AddedEdges) != len(par.AddedEdges) {
+		t.Fatalf("%s: %d added edges sequential vs %d parallel", label, len(seq.AddedEdges), len(par.AddedEdges))
+	}
+	for i := range seq.AddedEdges {
+		if seq.AddedEdges[i] != par.AddedEdges[i] {
+			t.Errorf("%s: added edge %d differs: %v vs %v", label, i, seq.AddedEdges[i], par.AddedEdges[i])
+		}
+	}
+	if len(seq.Trace) != len(par.Trace) {
+		t.Fatalf("%s: trace length %d vs %d", label, len(seq.Trace), len(par.Trace))
+	}
+	for i := range seq.Trace {
+		if seq.Trace[i] != par.Trace[i] {
+			t.Errorf("%s: trace[%d] differs: %.17g vs %.17g", label, i, seq.Trace[i], par.Trace[i])
+		}
+	}
+	if seq.FinalObjective != par.FinalObjective {
+		t.Errorf("%s: final objective %.17g vs %.17g", label, seq.FinalObjective, par.FinalObjective)
+	}
+	if seq.InitialObjective != par.InitialObjective {
+		t.Errorf("%s: initial objective %.17g vs %.17g", label, seq.InitialObjective, par.InitialObjective)
+	}
+	if seq.Evaluations != par.Evaluations {
+		t.Errorf("%s: evaluations %d vs %d", label, seq.Evaluations, par.Evaluations)
+	}
+}
+
+func withWorkers(opts Options, w int) Options {
+	opts.Workers = w
+	return opts
+}
+
+// TestParallelEquivalenceLDRG asserts Workers: N reproduces Workers: 1
+// byte-for-byte on seeded random nets across both oracles and all the
+// LDRG-family entry points.
+func TestParallelEquivalenceLDRG(t *testing.T) {
+	type oracleCase struct {
+		name   string
+		oracle DelayOracle
+		pins   []int // SPICE is ~100× slower per call; keep its nets small
+	}
+	cases := []oracleCase{
+		{"elmore", elmoreOracle(), []int{5, 9, 14, 20}},
+		{"spice", spiceOracle(), []int{5, 8}},
+	}
+	if testing.Short() {
+		cases[0].pins = []int{5, 9}
+		cases[1].pins = []int{5}
+	}
+	for _, oc := range cases {
+		for _, pins := range oc.pins {
+			seed := int64(700 + pins)
+			topo := randomMST(t, seed, pins)
+			base := Options{Oracle: oc.oracle}
+			for _, workers := range []int{2, 4, 7} {
+				label := fmt.Sprintf("%s/%dpins/w%d", oc.name, pins, workers)
+
+				seq, err := LDRG(topo, withWorkers(base, 1))
+				if err != nil {
+					t.Fatalf("%s sequential: %v", label, err)
+				}
+				par, err := LDRG(topo, withWorkers(base, workers))
+				if err != nil {
+					t.Fatalf("%s parallel: %v", label, err)
+				}
+				sameResult(t, "LDRG/"+label, seq, par)
+
+				if oc.name == "spice" && pins > 5 {
+					continue // the remaining variants re-run the whole search
+				}
+
+				gen := netlist.NewGenerator(seed)
+				net, err := gen.Generate(pins)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqS, err := SLDRG(net.Pins, steiner.Options{}, withWorkers(base, 1))
+				if err != nil {
+					t.Fatalf("%s SLDRG sequential: %v", label, err)
+				}
+				parS, err := SLDRG(net.Pins, steiner.Options{}, withWorkers(base, workers))
+				if err != nil {
+					t.Fatalf("%s SLDRG parallel: %v", label, err)
+				}
+				sameResult(t, "SLDRG/"+label, &seqS.Result, &parS.Result)
+
+				alphas := UniformCriticality(topo.NumPins())
+				alphas[len(alphas)-1] = 3 // skew criticality so ties differ from ORG
+				seqC, err := CriticalSinkLDRG(topo, alphas, withWorkers(base, 1))
+				if err != nil {
+					t.Fatalf("%s CSORG sequential: %v", label, err)
+				}
+				parC, err := CriticalSinkLDRG(topo, alphas, withWorkers(base, workers))
+				if err != nil {
+					t.Fatalf("%s CSORG parallel: %v", label, err)
+				}
+				sameResult(t, "CriticalSinkLDRG/"+label, seqC, parC)
+
+				seqT, err := LDRGWithTaps(topo, withWorkers(base, 1))
+				if err != nil {
+					t.Fatalf("%s taps sequential: %v", label, err)
+				}
+				parT, err := LDRGWithTaps(topo, withWorkers(base, workers))
+				if err != nil {
+					t.Fatalf("%s taps parallel: %v", label, err)
+				}
+				sameResult(t, "LDRGWithTaps/"+label, seqT, parT)
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceHORG covers the hybrid pipeline end to end: the
+// routing stage runs the parallel sweep, and the downstream sizing stage
+// must see an identical topology.
+func TestParallelEquivalenceHORG(t *testing.T) {
+	gen := netlist.NewGenerator(41)
+	net, err := gen.Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas := UniformCriticality(8)
+	base := Options{Oracle: elmoreOracle()}
+	ws := WireSizeOptions{MaxWidth: 3}
+
+	seq, err := HORG(net.Pins, alphas, true, ws, withWorkers(base, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := HORG(net.Pins, alphas, true, ws, withWorkers(base, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "HORG routing", &seq.Routing.Result, &par.Routing.Result)
+	if seq.FinalObjective() != par.FinalObjective() {
+		t.Errorf("HORG final objective %.17g vs %.17g", seq.FinalObjective(), par.FinalObjective())
+	}
+}
+
+// TestParallelEquivalenceWireSize asserts the widening sweep picks identical
+// widths under any worker count, in both selection modes (pure delay descent
+// and cost-weighted gain rate).
+func TestParallelEquivalenceWireSize(t *testing.T) {
+	topo := randomMST(t, 808, 10)
+	for _, costWeight := range []float64{0, 0.5} {
+		base := WireSizeOptions{Oracle: elmoreOracle(), MaxWidth: 3, CostWeight: costWeight}
+		label := fmt.Sprintf("costweight=%g", costWeight)
+
+		seqOpts := base
+		seqOpts.Workers = 1
+		seq, err := WireSize(topo, seqOpts)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", label, err)
+		}
+		parOpts := base
+		parOpts.Workers = 6
+		par, err := WireSize(topo, parOpts)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", label, err)
+		}
+
+		if len(seq.Widths) != len(par.Widths) {
+			t.Fatalf("%s: %d widths sequential vs %d parallel", label, len(seq.Widths), len(par.Widths))
+		}
+		for e, w := range seq.Widths {
+			if par.Widths[e] != w {
+				t.Errorf("%s: width of %v differs: %d vs %d", label, e, w, par.Widths[e])
+			}
+		}
+		if seq.Widenings != par.Widenings {
+			t.Errorf("%s: widenings %d vs %d", label, seq.Widenings, par.Widenings)
+		}
+		if seq.Evaluations != par.Evaluations {
+			t.Errorf("%s: evaluations %d vs %d", label, seq.Evaluations, par.Evaluations)
+		}
+		if seq.InitialObjective != par.InitialObjective || seq.FinalObjective != par.FinalObjective {
+			t.Errorf("%s: objectives (%.17g, %.17g) vs (%.17g, %.17g)", label,
+				seq.InitialObjective, seq.FinalObjective, par.InitialObjective, par.FinalObjective)
+		}
+	}
+}
+
+// TestOracleConcurrentStress hammers one shared oracle instance from many
+// goroutines — some on a shared read-only topology, some on private clones —
+// and checks every result against a sequential baseline. Run under -race
+// this guards the DelayOracle thread-safety contract.
+func TestOracleConcurrentStress(t *testing.T) {
+	oracles := []struct {
+		name   string
+		oracle DelayOracle
+	}{
+		{"elmore", elmoreOracle()},
+		{"twopole", &TwoPoleOracle{Params: elmoreOracle().Params}},
+		{"spice", spiceOracle()},
+	}
+	for _, oc := range oracles {
+		t.Run(oc.name, func(t *testing.T) {
+			pins := 12
+			iters := 8
+			if oc.name == "spice" {
+				pins, iters = 6, 2
+			}
+			if testing.Short() && oc.name == "spice" {
+				t.Skip("short mode")
+			}
+			shared := randomMST(t, 99, pins)
+			want, err := oc.oracle.SinkDelays(shared, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines = 16
+			errs := make(chan error, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					topo := shared
+					if g%2 == 0 {
+						// Half the goroutines perturb private clones, the
+						// add/score/remove pattern of a sweep worker.
+						topo = shared.Clone()
+					}
+					for i := 0; i < iters; i++ {
+						if topo != shared {
+							e := graph.Edge{U: 0, V: 1 + (g/2+i)%(pins-1)}.Canon()
+							added := !topo.HasEdge(e) && topo.EdgeLength(e) > 0
+							if added {
+								if err := topo.AddEdge(e); err != nil {
+									errs <- err
+									return
+								}
+							}
+							if _, err := oc.oracle.SinkDelays(topo, nil); err != nil {
+								errs <- fmt.Errorf("goroutine %d clone eval: %w", g, err)
+								return
+							}
+							if added {
+								if err := topo.RemoveEdge(e); err != nil {
+									errs <- err
+									return
+								}
+							}
+							continue
+						}
+						got, err := oc.oracle.SinkDelays(topo, nil)
+						if err != nil {
+							errs <- fmt.Errorf("goroutine %d shared eval: %w", g, err)
+							return
+						}
+						for n := range want {
+							if got[n] != want[n] {
+								errs <- fmt.Errorf("goroutine %d: delay[%d] = %.17g, want %.17g", g, n, got[n], want[n])
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestParallelLDRGStress runs the full parallel greedy loop on a 30-pin net
+// with more workers than CPUs; under -race this exercises the sweep engine's
+// clone isolation and reduction end to end.
+func TestParallelLDRGStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	topo := randomMST(t, 3030, 30)
+	base := Options{Oracle: elmoreOracle(), MaxAddedEdges: 3}
+	seq, err := LDRG(topo, withWorkers(base, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := LDRG(topo, withWorkers(base, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "30-pin", seq, par)
+	if len(par.AddedEdges) == 0 {
+		t.Error("expected the 30-pin net to accept at least one edge")
+	}
+}
+
+// TestSweepDeterminismGolden locks in the exact edge-acceptance sequence of
+// a fixed seed net so future refactors cannot silently change candidate
+// ordering or tie-breaking. The golden values were produced by the
+// sequential Workers: 1 path at the commit introducing the parallel engine;
+// both paths must keep reproducing them bit for bit.
+func TestSweepDeterminismGolden(t *testing.T) {
+	topo := randomMST(t, 1994, 16)
+	const (
+		wantEdges = "[0-10 0-6]"
+		wantFinal = "3.0426723953514312e-09"
+	)
+	for _, workers := range []int{1, 4} {
+		res, err := LDRG(topo, Options{Oracle: elmoreOracle(), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEdges := fmt.Sprintf("%v", res.AddedEdges)
+		gotFinal := fmt.Sprintf("%.17g", res.FinalObjective)
+		if gotEdges != wantEdges {
+			t.Errorf("workers=%d: edge sequence %s, want %s", workers, gotEdges, wantEdges)
+		}
+		if gotFinal != wantFinal {
+			t.Errorf("workers=%d: final objective %s, want %s", workers, gotFinal, wantFinal)
+		}
+	}
+}

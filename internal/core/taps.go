@@ -89,40 +89,77 @@ func compactTapResult(res *Result) (*Result, error) {
 	return res, nil
 }
 
-// bestTap evaluates, for every existing edge, the tap from the source to
-// the closest point of the edge's bounding box, returning the best
-// improving candidate.
-func bestTap(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, geom.Point, float64, bool, error) {
+// tapCandidates returns, for every existing edge, the tap from the source
+// to the closest point of the edge's bounding box, in canonical edge order
+// (the order that fixes tie-breaking). Degenerate taps — reducing to plain
+// edges (handled by bestAddition) or to nothing — are dropped.
+func tapCandidates(t *graph.Topology) []tapCandidate {
 	src := t.Point(0)
-	bestVal := cur
-	threshold := cur * (1 - opts.minImprovement())
-	var bestEdge graph.Edge
-	var bestPoint geom.Point
-	found := false
-
+	var out []tapCandidate
 	for _, e := range t.Edges() {
 		a, b := t.Point(e.U), t.Point(e.V)
 		p := geom.Point{
 			X: clampF(src.X, math.Min(a.X, b.X), math.Max(a.X, b.X)),
 			Y: clampF(src.Y, math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)),
 		}
-		// Degenerate taps reduce to plain edges (handled by bestAddition)
-		// or to nothing.
 		if p.Eq(a) || p.Eq(b) || p.Eq(src) {
 			continue
 		}
-		val, err := evalTap(t, opts, obj, res, e, p)
+		out = append(out, tapCandidate{edge: e, point: p})
+	}
+	return out
+}
+
+// bestTap evaluates every tap candidate, returning the best improving one.
+// With Workers != 1 the sweep fans out over the worker pool (parallel.go).
+func bestTap(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, geom.Point, float64, bool, error) {
+	cands := tapCandidates(t)
+	if w := opts.workers(); w > 1 && len(cands) > 1 {
+		return bestTapParallel(t, opts, obj, cur, res, cands)
+	}
+	bestVal := cur
+	threshold := cur * (1 - opts.minImprovement())
+	var bestEdge graph.Edge
+	var bestPoint geom.Point
+	found := false
+
+	for _, c := range cands {
+		val, err := evalTap(t, opts, obj, res, c.edge, c.point)
 		if err != nil {
 			return graph.Edge{}, geom.Point{}, 0, false, err
 		}
 		if val < bestVal && val < threshold {
 			bestVal = val
-			bestEdge = e
-			bestPoint = p
+			bestEdge = c.edge
+			bestPoint = c.point
 			found = true
 		}
 	}
 	return bestEdge, bestPoint, bestVal, found, nil
+}
+
+// scoreTapped scores base with edge e split at p and the source wired to
+// the split point. base itself is never modified: the tap is applied to a
+// fresh clone, so concurrent callers sharing base are safe and no evaluation
+// sees another candidate's leftover Steiner node. (Cheaper than restore:
+// Topology has no node removal, and a clone costs far less than the oracle
+// call that follows.)
+func scoreTapped(base *graph.Topology, opts *Options, obj Objective, e graph.Edge, p geom.Point) (float64, error) {
+	c := base.Clone()
+	s := c.AddSteinerNode(p)
+	if err := c.RemoveEdge(e); err != nil {
+		return 0, err
+	}
+	for _, ne := range []graph.Edge{{U: e.U, V: s}, {U: s, V: e.V}, {U: 0, V: s}} {
+		if err := c.AddEdge(ne); err != nil {
+			return 0, fmt.Errorf("core: tap edge %v: %w", ne, err)
+		}
+	}
+	val, err := scoreTopology(c, opts, obj)
+	if err != nil {
+		return 0, fmt.Errorf("core: evaluating tap on %v: %w", e, err)
+	}
+	return val, nil
 }
 
 // evalTap scores the topology with edge e split at p and the source wired

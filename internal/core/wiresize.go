@@ -25,6 +25,11 @@ type WireSizeOptions struct {
 	// the optimizer maximizes delay improvement per unit of added
 	// width-length product when > 0. Zero means pure delay descent.
 	CostWeight float64
+	// Workers bounds the goroutines evaluating widening candidates
+	// concurrently (0 = one per CPU, 1 = sequential). Like the edge
+	// sweeps, results are byte-identical for any value; the oracle must
+	// be safe for concurrent SinkDelays calls when Workers != 1.
+	Workers int
 }
 
 // WireSizeResult reports a WSORG run.
@@ -106,19 +111,59 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 	res.InitialObjective = cur
 
 	for {
+		// Widening candidates in canonical edge order (fixes tie-breaking).
+		var cands []graph.Edge
+		for _, e := range t.Edges() {
+			if widths[e] < maxW {
+				cands = append(cands, e)
+			}
+		}
+
+		// The candidate objectives, aligned with cands. The widths map is
+		// read-only during a sweep, so with Workers != 1 each candidate is
+		// scored concurrently under an overlay width function instead of
+		// the sequential bump-eval-revert on the shared map.
+		vals := make([]float64, len(cands))
+		if workers := workerCount(opts.Workers); workers > 1 && len(cands) > 1 {
+			outcomes, evals := runSweep(t, workers, len(cands), func(i int, clone *graph.Topology) (float64, error) {
+				e := cands[i]
+				overlay := func(x graph.Edge) float64 {
+					w := widths[x.Canon()]
+					if x.Canon() == e {
+						w++
+					}
+					return float64(w)
+				}
+				delays, err := opts.Oracle.SinkDelays(clone, overlay)
+				if err != nil {
+					return 0, fmt.Errorf("core: WSORG widening %v: %w", e, err)
+				}
+				return obj.Eval(delays, clone.NumPins())
+			})
+			res.Evaluations += evals
+			for i := range outcomes {
+				if outcomes[i].err != nil {
+					return nil, outcomes[i].err
+				}
+				vals[i] = outcomes[i].val
+			}
+		} else {
+			for i, e := range cands {
+				widths[e]++
+				val, err := eval()
+				widths[e]--
+				if err != nil {
+					return nil, fmt.Errorf("core: WSORG widening %v: %w", e, err)
+				}
+				vals[i] = val
+			}
+		}
+
 		bestEdge := graph.Edge{U: -1, V: -1}
 		bestVal := cur
 		bestGainRate := 0.0
-		for _, e := range t.Edges() {
-			if widths[e] >= maxW {
-				continue
-			}
-			widths[e]++
-			val, err := eval()
-			widths[e]--
-			if err != nil {
-				return nil, fmt.Errorf("core: WSORG widening %v: %w", e, err)
-			}
+		for i, e := range cands {
+			val := vals[i]
 			if val >= cur*(1-minImp) {
 				continue
 			}

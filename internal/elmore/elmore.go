@@ -15,6 +15,16 @@
 //
 // On trees the two methods agree exactly; the test suite property-checks
 // this equivalence on random topologies.
+//
+// Concurrency: every evaluator in this package (TreeDelays, GraphDelays,
+// TwoPoleDelays, Bounds, EstimateDelays) assembles its matrices and
+// workspaces per call and only reads its Topology/Lumped arguments, so
+// concurrent evaluations of distinct topologies are safe — the property
+// core's parallel candidate sweeps rely on. A Conductance factorization is
+// likewise read-only after FactorConductance and may be shared across
+// goroutines. The incremental evaluator (incremental.go) is the one stateful
+// exception: an Incremental caches per-endpoint solve columns and must be
+// confined to a single goroutine.
 package elmore
 
 import (

@@ -43,7 +43,10 @@ type Incremental struct {
 
 // NewIncremental prepares incremental evaluation over the topology's
 // current state. The topology must not be mutated while the evaluator is
-// in use; after committing an edge, build a new evaluator.
+// in use; after committing an edge, build a new evaluator. Unlike the
+// stateless evaluators in this package, an Incremental mutates its column
+// cache on every WithEdge call and must not be shared across goroutines —
+// give each worker its own evaluator instead.
 func NewIncremental(t *graph.Topology, p rc.Params) (*Incremental, error) {
 	l, err := rc.Lump(t, p, nil)
 	if err != nil {

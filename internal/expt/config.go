@@ -47,6 +47,12 @@ type Config struct {
 	// Inductance includes the Table 1 wire inductance in measurement
 	// circuits (the paper lists it among its SPICE parameters).
 	Inductance bool
+	// Workers bounds the goroutines each greedy sweep uses to evaluate
+	// candidates (0 = one per CPU, 1 = sequential). Table/figure results
+	// are byte-identical for any value; the harness already parallelizes
+	// across trials, so per-sweep workers mainly help SPICE-oracle runs
+	// where a single net dominates wall clock.
+	Workers int
 }
 
 // Default returns the paper's experimental configuration with the Elmore
@@ -61,6 +67,11 @@ func Default() Config {
 		SearchOracle:  OracleElmore,
 		MeasureWith:   OracleSpice,
 		SegmentLength: rc.DefaultMaxSegment,
+		// Trial-level parallelism (runTrials) already saturates the machine
+		// on the paper's many-small-nets workloads, so sweeps default to
+		// sequential here; raise Workers for SPICE-oracle runs where a few
+		// large nets dominate.
+		Workers: 1,
 	}
 }
 
@@ -76,6 +87,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Trials < 1 {
 		return fmt.Errorf("expt: trials must be at least 1")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("expt: workers must be non-negative (0 = one per CPU)")
 	}
 	switch c.SearchOracle {
 	case OracleElmore, OracleTwoPole, OracleSpice:
@@ -154,5 +168,6 @@ func (c *Config) ldrgOptions(maxEdges int) core.Options {
 	return core.Options{
 		Oracle:        c.searchOracle(),
 		MaxAddedEdges: maxEdges,
+		Workers:       c.Workers,
 	}
 }

@@ -11,6 +11,17 @@
 // voltage sources (step / PWL waveforms) and current sources; DC operating
 // point; and transient analysis via Backward Euler or the trapezoidal rule
 // with a fixed timestep and one-time LU factorization.
+//
+// Concurrency: a Circuit is mutable while being built (Node/Add*) and must
+// be confined to one goroutine until construction finishes; every analysis
+// entry point (OperatingPoint, FinalValue, Transient*, MeasureDelays) then
+// treats it as read-only, assembling its own MNA system, factorizations and
+// step buffers per call — including the adaptive integrator's trapStepper
+// cache, which is allocated inside TransientAdaptive. Concurrent analyses of
+// the same or distinct circuits are therefore safe, which is what lets
+// core's parallel candidate sweeps hammer SpiceOracle from many goroutines.
+// Waveform closures are called during concurrent analyses and must be pure
+// functions of t (the built-ins DC, Step and Ramp are).
 package spice
 
 import (

@@ -170,6 +170,11 @@ type Config struct {
 	// rectilinear embedding avoids crossing existing wires — a
 	// routability-constrained variant of the paper's algorithms.
 	PlanarOnly bool
+	// Workers bounds the goroutines evaluating candidate edges concurrently
+	// inside each greedy sweep (0 = one per CPU, 1 = sequential). Results
+	// are byte-identical for any value — see DESIGN.md §7 on the
+	// concurrency model and determinism guarantee.
+	Workers int
 }
 
 func (c Config) params() Params {
@@ -180,7 +185,7 @@ func (c Config) params() Params {
 }
 
 func (c Config) coreOptions() core.Options {
-	opts := core.Options{MaxAddedEdges: c.MaxAddedEdges}
+	opts := core.Options{MaxAddedEdges: c.MaxAddedEdges, Workers: c.Workers}
 	switch c.Oracle {
 	case OracleSpice:
 		opts.Oracle = &core.SpiceOracle{Params: c.params()}
@@ -275,6 +280,7 @@ func WireSize(t *Topology, maxWidth int, cfg Config) (*WireSizeResult, error) {
 		Oracle:    opts.Oracle,
 		Objective: opts.Objective,
 		MaxWidth:  maxWidth,
+		Workers:   cfg.Workers,
 	})
 }
 
@@ -286,7 +292,7 @@ func HORG(net *Net, alphas []float64, useSteiner bool, maxWidth int, cfg Config)
 		return nil, err
 	}
 	opts := cfg.coreOptions()
-	return core.HORG(net.Pins, alphas, useSteiner, core.WireSizeOptions{MaxWidth: maxWidth}, opts)
+	return core.HORG(net.Pins, alphas, useSteiner, core.WireSizeOptions{MaxWidth: maxWidth, Workers: cfg.Workers}, opts)
 }
 
 // DelayReport holds measured delays of a topology.
