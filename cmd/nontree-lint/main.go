@@ -1,0 +1,77 @@
+// Command nontree-lint is the repository's multichecker: it runs the
+// custom analyzers that mechanically enforce the determinism and oracle
+// thread-safety contracts of DESIGN.md §7–§8.
+//
+// Usage:
+//
+//	go run ./cmd/nontree-lint ./...
+//
+// The exit status is 0 when every analyzer is clean, 1 when diagnostics
+// were reported, and 2 on operational failure (unparseable or untypeable
+// source, bad patterns). CI gates every PR on a clean run.
+//
+// Analyzers:
+//
+//	detordering   map iteration feeding order-sensitive computation
+//	oraclesafety  oracle methods writing shared state
+//	nondetsource  wall clocks, math/rand, GOMAXPROCS-dependent logic
+//	floatcmp      ==/!= on floating-point delay and score values
+//
+// Findings are suppressed only by a justified annotation:
+//
+//	//nontree:allow <analyzer> <justification>
+//
+// placed on the flagged line or the line above it (for detordering, the
+// loop's `for` line also works). See DESIGN.md §8 for the sanctioned
+// exemptions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nontree/internal/analysis"
+	"nontree/internal/analysis/detordering"
+	"nontree/internal/analysis/floatcmp"
+	"nontree/internal/analysis/nondetsource"
+	"nontree/internal/analysis/oraclesafety"
+)
+
+// Analyzers is the suite the multichecker runs, in report order.
+var Analyzers = []*analysis.Analyzer{
+	detordering.Analyzer,
+	floatcmp.Analyzer,
+	nondetsource.Analyzer,
+	oraclesafety.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nontree-lint [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range Analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(os.Stdout, "", Analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nontree-lint:", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nontree-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

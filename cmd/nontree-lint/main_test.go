@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nontree/internal/analysis"
+)
+
+// TestRepositoryIsClean runs the full multichecker over every package in
+// the module and asserts zero diagnostics, locking the tree's clean state:
+// any new map-ordering, oracle-mutation, nondeterminism-source, or
+// float-equality site fails this test (and the CI lint gate) until it is
+// fixed or carries a justified //nontree:allow annotation.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	var out strings.Builder
+	// The module-path pattern resolves from any working directory inside
+	// the module, unlike "./..." which would only cover this command.
+	diags, err := analysis.Run(&out, "", Analyzers, "nontree/...")
+	if err != nil {
+		t.Fatalf("running multichecker: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected a clean tree, got %d finding(s):\n%s", len(diags), out.String())
+	}
+}
+
+// TestAnalyzerRoster locks the suite composition: dropping an analyzer
+// from the multichecker must be a deliberate, reviewed change.
+func TestAnalyzerRoster(t *testing.T) {
+	want := map[string]bool{
+		"detordering":  true,
+		"floatcmp":     true,
+		"nondetsource": true,
+		"oraclesafety": true,
+	}
+	if len(Analyzers) != len(want) {
+		t.Fatalf("expected %d analyzers, got %d", len(want), len(Analyzers))
+	}
+	for _, a := range Analyzers {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against `// want` comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library alone.
+//
+// Expectations are written on the line they apply to:
+//
+//	for k := range m { // want `iteration over map`
+//
+// The text between backquotes (or double quotes) is a regular expression
+// matched against the diagnostic message; one expectation per line. Lines
+// with no want comment must produce no diagnostic, and every expectation
+// must be matched by exactly one diagnostic.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"nontree/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want (`([^`]*)`|\"([^\"]*)\")")
+
+// Run loads testdata/src/<pkg> relative to the caller's directory,
+// type-checks it, applies the analyzer (ignoring its Scope), and verifies
+// the diagnostics against want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	_, callerFile, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller to find testdata")
+	}
+	dir := filepath.Join(filepath.Dir(callerFile), "testdata", "src", pkg)
+
+	loader := analysis.NewLoader()
+	loaded, err := loader.CheckDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzer(a, loaded)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, loaded)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern := m[2]
+				if pattern == "" {
+					pattern = m[3]
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pattern, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}

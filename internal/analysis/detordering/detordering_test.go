@@ -1,0 +1,32 @@
+package detordering_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/detordering"
+)
+
+func TestDetordering(t *testing.T) {
+	analysistest.Run(t, detordering.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for _, path := range []string{
+		"nontree/internal/core",
+		"nontree/internal/ert",
+		"nontree/internal/steiner",
+		"nontree/internal/pdtree",
+		"nontree/internal/graph",
+		"nontree/internal/expt",
+	} {
+		if !detordering.Analyzer.InScope(path) {
+			t.Errorf("expected %s in scope", path)
+		}
+	}
+	for _, path := range []string{"nontree/internal/spice", "nontree/cmd/nontree"} {
+		if detordering.Analyzer.InScope(path) {
+			t.Errorf("expected %s out of scope", path)
+		}
+	}
+}

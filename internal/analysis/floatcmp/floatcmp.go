@@ -1,0 +1,108 @@
+// Package floatcmp forbids == and != on floating-point delay and score
+// values in the algorithm packages. Exact float equality is where parallel
+// reduction order leaks into results: two candidates whose scores differ
+// only in the last ulp compare differently depending on summation order,
+// so a tie broken by == can pick different winners for different Workers
+// values. Comparisons must go through the epsilon helpers in
+// nontree/internal/fpcmp (or an ordering comparison, which the analyzer
+// does not restrict).
+//
+// Two cases are accepted without annotation:
+//
+//   - comparisons where both operands are compile-time constants;
+//   - comparisons against math.Inf(...) — infinities are exact sentinels
+//     with no rounding neighborhood.
+//
+// Everything else — including comparisons against the literal 0, which are
+// usually unset-field sentinels and deserve documentation — needs a
+// //nontree:allow floatcmp <justification> annotation.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nontree/internal/analysis"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= on float delay/score values outside the approved " +
+		"epsilon-comparison helpers (nontree/internal/fpcmp)",
+	Scope: []string{
+		"internal/core",
+		"internal/ert",
+		"internal/steiner",
+		"internal/pdtree",
+		"internal/elmore",
+		"internal/expt",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !hasFloat(pass.TypeOf(be.X)) && !hasFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if isConst(pass, be.X) && isConst(pass, be.Y) {
+				return true
+			}
+			if isInfCall(pass, be.X) || isInfCall(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"%s on floating-point values: exact float equality makes tie-breaking "+
+					"depend on summation order and voids the Workers determinism "+
+					"guarantee; use nontree/internal/fpcmp (or annotate "+
+					"//nontree:allow floatcmp <why> for an exact sentinel)",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasFloat reports whether t is, or structurally contains, a float type.
+func hasFloat(t types.Type) bool {
+	return hasFloatDepth(t, 0)
+}
+
+func hasFloatDepth(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Array:
+		return hasFloatDepth(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasFloatDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isInfCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return analysis.IsPkgCall(pass.Info, call, "math", "Inf")
+}

@@ -1,0 +1,35 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for _, path := range []string{
+		"nontree/internal/core",
+		"nontree/internal/elmore",
+		"nontree/internal/expt",
+	} {
+		if !floatcmp.Analyzer.InScope(path) {
+			t.Errorf("expected %s in scope", path)
+		}
+	}
+	// The numerical kernels compare pivots and residuals exactly on
+	// purpose; the epsilon helper itself must be free to use ==.
+	for _, path := range []string{
+		"nontree/internal/linalg",
+		"nontree/internal/spice",
+		"nontree/internal/fpcmp",
+	} {
+		if floatcmp.Analyzer.InScope(path) {
+			t.Errorf("expected %s out of scope", path)
+		}
+	}
+}

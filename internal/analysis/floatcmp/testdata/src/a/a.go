@@ -1,0 +1,67 @@
+// Package a exercises the floatcmp analyzer: exact equality on
+// floating-point values is flagged; constants, infinity sentinels, and
+// ordering comparisons are clean.
+package a
+
+import "math"
+
+type point struct{ x, y float64 }
+
+type result struct {
+	delay float64
+	edges int
+}
+
+// Flagged: exact tie detection on computed scores.
+func tie(a, b float64) bool {
+	return a == b // want `== on floating-point values`
+}
+
+// Flagged: != is the same trap.
+func changed(prev, next float64) bool {
+	return prev != next // want `!= on floating-point values`
+}
+
+// Flagged: zero is a float comparison too — sentinels need documentation.
+func unset(threshold float64) bool {
+	return threshold == 0 // want `== on floating-point values`
+}
+
+// Clean: documented sentinel.
+func unsetDocumented(threshold float64) bool {
+	return threshold == 0 //nontree:allow floatcmp zero is the exact unset sentinel; the field is never computed
+}
+
+// Clean: ordering comparisons are how scores are meant to be compared.
+func better(a, b float64) bool { return a < b }
+
+// Clean: comparing against an infinity sentinel is exact by construction.
+func unreached(d float64) bool {
+	return d == math.Inf(1)
+}
+
+// Clean: both operands constant.
+const eps = 1e-9
+
+func constCompare() bool { return eps == 1e-9 }
+
+// Flagged: struct equality with float fields hides the same comparison.
+func samePoint(a, b point) bool {
+	return a == b // want `== on floating-point values`
+}
+
+// Flagged: comparing a float field.
+func sameDelay(a, b result) bool {
+	return a.delay == b.delay // want `== on floating-point values`
+}
+
+// Clean: integer equality is exact.
+func sameEdges(a, b result) bool { return a.edges == b.edges }
+
+// Clean: float32 ordering.
+func worse32(a, b float32) bool { return a > b }
+
+// Flagged: float32 equality.
+func same32(a, b float32) bool {
+	return a == b // want `== on floating-point values`
+}

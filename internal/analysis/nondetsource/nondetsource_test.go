@@ -1,0 +1,32 @@
+package nondetsource_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/nondetsource"
+)
+
+func TestNondetSource(t *testing.T) {
+	analysistest.Run(t, nondetsource.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for _, path := range []string{
+		"nontree",
+		"nontree/sta",
+		"nontree/internal/core",
+		"nontree/internal/netlist",
+		"nontree/internal/expt",
+	} {
+		if !nondetsource.Analyzer.InScope(path) {
+			t.Errorf("expected %s in scope", path)
+		}
+	}
+	// Benchmarks legitimately read the wall clock.
+	for _, path := range []string{"nontree/cmd/nontree-bench", "nontree/examples/quickstart"} {
+		if nondetsource.Analyzer.InScope(path) {
+			t.Errorf("expected %s out of scope", path)
+		}
+	}
+}

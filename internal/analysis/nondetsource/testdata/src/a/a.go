@@ -1,0 +1,47 @@
+// Package a exercises the nondetsource analyzer: wall clocks, math/rand,
+// and CPU-count-dependent logic are flagged; annotated, justified uses and
+// deterministic alternatives are clean.
+package a
+
+import (
+	"math/rand" // want `import of math/rand in an algorithm package`
+	"runtime"
+	"time"
+)
+
+// Flagged: wall-clock reads.
+func stamp() (int64, time.Duration) {
+	start := time.Now()          // want `wall-clock read in an algorithm package`
+	elapsed := time.Since(start) // want `wall-clock read in an algorithm package`
+	return start.UnixNano(), elapsed
+}
+
+// Clean: time arithmetic on supplied values involves no clock.
+func budget(d time.Duration) time.Duration { return 2 * d }
+
+// The global-source draw rides on the flagged import above; call sites in
+// real code are annotated or converted to explicit seeded streams.
+func draw() int { return rand.Intn(10) }
+
+// Flagged: sizing logic on the machine's core count.
+func fanout() int {
+	n := runtime.NumCPU() // want `GOMAXPROCS/NumCPU-dependent logic`
+	if n > 4 {
+		return 4
+	}
+	return n
+}
+
+// Flagged: GOMAXPROCS is the same contract.
+func workers() int {
+	return runtime.GOMAXPROCS(0) // want `GOMAXPROCS/NumCPU-dependent logic`
+}
+
+// Clean: annotated worker-pool sizing with a justification.
+func workersAllowed() int {
+	//nontree:allow nondetsource pool size only; the reduction is order-independent
+	return runtime.GOMAXPROCS(0)
+}
+
+// Clean: runtime functions outside the deny-list.
+func gc() { runtime.GC() }

@@ -1,0 +1,178 @@
+// Package oraclesafety enforces the DelayOracle thread-safety contract
+// (DESIGN.md §7): when Options.Workers != 1 the greedy sweeps call
+// SinkDelays concurrently from many goroutines, so oracle and objective
+// implementations must build their workspaces per call. The analyzer flags
+// any SinkDelays, Evaluate, or Eval method that writes to a receiver field
+// or to a package-level variable — the two ways shared state leaks between
+// concurrent evaluations.
+//
+// The one sanctioned exception is the documented single-threaded
+// incremental evaluator: methods whose receiver type is named Incremental
+// in package nontree/internal/elmore are skipped. Other exemptions require
+// a justified //nontree:allow oraclesafety annotation.
+//
+// The check is syntactic per method: writes made through aliases
+// (`b := o.buf; b[0] = x`) or by callees are not traced. The -race sweep
+// tests in internal/core remain the dynamic backstop for those.
+package oraclesafety
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nontree/internal/analysis"
+)
+
+// methodNames are the oracle entry points covered by the contract.
+var methodNames = map[string]bool{
+	"SinkDelays": true,
+	"Evaluate":   true,
+	"Eval":       true,
+}
+
+// exceptionPkg/exceptionType identify the documented single-threaded
+// incremental Elmore evaluator, exempt by design.
+const (
+	exceptionPkg  = "nontree/internal/elmore"
+	exceptionType = "Incremental"
+)
+
+// Analyzer is the oraclesafety check.
+var Analyzer = &analysis.Analyzer{
+	Name: "oraclesafety",
+	Doc: "flag SinkDelays/Evaluate/Eval implementations that write receiver " +
+		"fields or package-level variables, breaking concurrent-sweep safety",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !methodNames[fd.Name.Name] {
+				continue
+			}
+			if isException(pass, fd) {
+				continue
+			}
+			checkMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isException reports whether fd is a method of the documented
+// elmore.Incremental evaluator.
+func isException(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if pass.Pkg == nil || pass.Pkg.Path() != exceptionPkg {
+		return false
+	}
+	return receiverTypeName(fd) == exceptionType
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := receiverObjects(pass, fd)
+	check := func(lhs ast.Expr, verb string) {
+		root := analysis.RootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			return
+		}
+		switch {
+		case recv[obj]:
+			// Rebinding the receiver variable itself (`o = ...`) only
+			// changes the method-local copy; what reaches shared state is a
+			// write through it — selectors, indexes, or `*o = ...`.
+			if _, isIdent := lhs.(*ast.Ident); isIdent {
+				return
+			}
+			pass.Reportf(lhs.Pos(),
+				"%s receiver state %s in %s: oracles must be safe for concurrent "+
+					"calls on distinct topologies — allocate per-call workspaces "+
+					"(see DESIGN.md §7) or annotate //nontree:allow oraclesafety <why>",
+				verb, exprString(lhs), fd.Name.Name)
+		case isPackageLevel(pass, obj):
+			pass.Reportf(lhs.Pos(),
+				"%s package-level variable %s in %s: oracles must not share "+
+					"mutable state across concurrent calls (DESIGN.md §7)",
+				verb, root.Name, fd.Name.Name)
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				check(lhs, "writes")
+			}
+		case *ast.IncDecStmt:
+			check(s.X, "updates")
+		case *ast.UnaryExpr:
+			// Taking the address of receiver state and handing it out is a
+			// write in waiting; keep the check focused on direct writes and
+			// let the race detector cover escapes.
+		}
+		return true
+	})
+}
+
+// receiverObjects returns the object(s) bound to the receiver identifier.
+func receiverObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range fd.Recv.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// isPackageLevel reports whether obj is a variable declared at package
+// scope in the package under analysis.
+func isPackageLevel(pass *analysis.Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || pass.Pkg == nil {
+		return false
+	}
+	return v.Parent() == pass.Pkg.Scope()
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return "expression"
+}

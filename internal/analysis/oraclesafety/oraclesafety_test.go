@@ -1,0 +1,20 @@
+package oraclesafety_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/oraclesafety"
+)
+
+func TestOracleSafety(t *testing.T) {
+	analysistest.Run(t, oraclesafety.Analyzer, "a")
+}
+
+func TestScopeIsGlobal(t *testing.T) {
+	for _, path := range []string{"nontree", "nontree/internal/elmore", "nontree/cmd/nontree"} {
+		if !oraclesafety.Analyzer.InScope(path) {
+			t.Errorf("oraclesafety must apply everywhere; %s was out of scope", path)
+		}
+	}
+}

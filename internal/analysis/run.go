@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// Run loads the packages matched by patterns (resolved in dir, or the
+// working directory when dir is empty), applies every analyzer whose Scope
+// matches each package, writes the sorted diagnostics to w, and returns
+// them. A non-nil error reports an operational failure (unparseable source,
+// type errors, go list failure) — not findings.
+func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	loader := NewLoader()
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.InScope(pkg.Path) {
+				continue
+			}
+			ds, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ds...)
+		}
+	}
+	SortDiagnostics(all)
+	for _, d := range all {
+		fmt.Fprintln(w, d)
+	}
+	return all, nil
+}

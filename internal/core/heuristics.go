@@ -45,7 +45,7 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 			break
 		}
 		e := graph.Edge{U: 0, V: worst}.Canon()
-		if t.HasEdge(e) || t.EdgeLength(e) == 0 {
+		if t.HasEdge(e) || t.ZeroLength(e) {
 			break // the worst sink is already directly connected
 		}
 		if err := t.AddEdge(e); err != nil {
@@ -113,7 +113,7 @@ func H3(seed *graph.Topology, params rc.Params, opts Options) (*Result, error) {
 		best, bestScore := -1, -1.0
 		for sink := 1; sink < t.NumPins(); sink++ {
 			newLen := t.EdgeLength(graph.Edge{U: 0, V: sink})
-			if newLen == 0 || t.HasEdge(graph.Edge{U: 0, V: sink}) {
+			if t.ZeroLength(graph.Edge{U: 0, V: sink}) || t.HasEdge(graph.Edge{U: 0, V: sink}) {
 				continue
 			}
 			pathLen, err := t.TreePathLength(sink)

@@ -64,6 +64,7 @@ func (o *Options) workers() int { return workerCount(o.Workers) }
 // clamped to sequential.
 func workerCount(w int) int {
 	if w == 0 {
+		//nontree:allow nondetsource sizes the sweep pool only; the deterministic reduction makes results identical for any worker count (DESIGN.md §7)
 		return runtime.GOMAXPROCS(0)
 	}
 	if w < 1 {

@@ -111,6 +111,7 @@ func (o *SpiceOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float
 		return nil, err
 	}
 	mo := o.Measure
+	//nontree:allow floatcmp zero is the exact zero-value sentinel for an unset config field, never a computed delay
 	if mo.ThresholdFraction == 0 {
 		mo = spice.DefaultMeasureOpts()
 	}

@@ -91,6 +91,7 @@ var ErrDegenerate = errors.New("elmore: candidate edge has zero length")
 func (inc *Incremental) WithEdge(e graph.Edge) ([]float64, error) {
 	e = e.Canon()
 	length := inc.topo.EdgeLength(e)
+	//nontree:allow floatcmp Manhattan length of coincident points is exactly 0.0; degeneracy sentinel guarding the 1/length conductance below
 	if length == 0 {
 		return nil, ErrDegenerate
 	}

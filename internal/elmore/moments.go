@@ -110,6 +110,7 @@ func twoPoleFiftyPercent(m1, m2 float64) float64 {
 		return fallback
 	}
 	var y func(t float64) float64
+	//nontree:allow floatcmp guards the exact zero divisor s1-s2 in the partial-fraction branch; both poles derive from one expression, so equality is reproducible
 	if s1 == s2 {
 		// Repeated pole: y(t) = 1 − (1 − s1·t)·e^{s1 t}.
 		y = func(t float64) float64 {

@@ -73,6 +73,7 @@ func runTrials(cfg *Config, fn func(size, trial int) (*trialOutcome, error)) ([]
 	var mu sync.Mutex
 	var firstErr error
 
+	//nontree:allow nondetsource sizes the trial pool only; each (size, trial) outcome lands in its own slot, so scheduling cannot change results
 	workers := runtime.GOMAXPROCS(0)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 	"io"
+	//nontree:allow nondetsource design generation only; the stream is seeded per design from cfg.Seed, so every experiment is a pure function of its config
 	"math/rand"
 
 	"nontree/internal/core"

@@ -1,0 +1,55 @@
+package fpcmp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"identical", 1.5e-9, 1.5e-9, true},
+		{"ulp apart", 1.5e-9, math.Nextafter(1.5e-9, 1), true},
+		{"clearly different", 1.5e-9, 1.6e-9, false},
+		{"zero zero", 0, 0, true},
+		{"zero vs tiny", 0, 1e-13, true},
+		{"zero vs small", 0, 1e-9, false},
+		{"large equal-ish", 1e12, 1e12 * (1 + 1e-13), true},
+		{"large different", 1e12, 1.000001e12, false},
+		{"inf same sign", math.Inf(1), math.Inf(1), true},
+		{"inf opposite", math.Inf(1), math.Inf(-1), false},
+		{"inf vs finite", math.Inf(1), 1e300, false},
+		{"nan", math.NaN(), math.NaN(), false},
+		{"nan vs zero", math.NaN(), 0, false},
+		{"sign straddle", -1e-13, 1e-13, true},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("%s: Eq(%g, %g) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		if got := Eq(c.b, c.a); got != c.want {
+			t.Errorf("%s: Eq not symmetric for (%g, %g)", c.name, c.a, c.b)
+		}
+	}
+}
+
+func TestEqTol(t *testing.T) {
+	if !EqTol(1.0, 1.009, 0.01) {
+		t.Error("EqTol(1.0, 1.009, 0.01) should hold")
+	}
+	if EqTol(1.0, 1.02, 0.01) {
+		t.Error("EqTol(1.0, 1.02, 0.01) should not hold")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(1e-15) || !Zero(-1e-15) {
+		t.Error("Zero should accept values within tolerance of 0")
+	}
+	if Zero(1e-9) || Zero(math.Inf(1)) || Zero(math.NaN()) {
+		t.Error("Zero should reject distinctly nonzero values")
+	}
+}

@@ -107,7 +107,10 @@ func (t *Topology) Compact() (*Topology, []int) {
 	for _, p := range keep[t.numPins:] {
 		c.AddSteinerNode(p)
 	}
-	for e := range t.edges {
+	// Canonical sorted order rather than raw map order: insertion order
+	// cannot change the result, but a deterministic walk keeps any panic
+	// below reproducible (detordering's contract, DESIGN.md §8).
+	for _, e := range t.Edges() {
 		ne := Edge{remap[e.U], remap[e.V]}
 		if err := c.AddEdge(ne); err != nil {
 			// Edges among retained nodes cannot collide or self-loop;
@@ -151,6 +154,15 @@ func (t *Topology) AddSteinerNode(p geom.Point) int {
 // present in the topology).
 func (t *Topology) EdgeLength(e Edge) float64 {
 	return geom.Dist(t.points[e.U], t.points[e.V])
+}
+
+// ZeroLength reports whether edge e would connect coincident points.
+// Manhattan distance of identical coordinates is exactly 0.0, so this is a
+// degeneracy predicate, not a float comparison on computed scores — the
+// algorithm packages use it instead of `EdgeLength(e) == 0`, which the
+// floatcmp analyzer rejects there.
+func (t *Topology) ZeroLength(e Edge) bool {
+	return t.EdgeLength(e) == 0
 }
 
 // HasEdge reports whether edge e is present.

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	//nontree:allow nondetsource test-case generation only; every Generator draws from rand.New(rand.NewSource(seed)), so nets are a pure function of the seed
 	"math/rand"
 	"strconv"
 	"strings"

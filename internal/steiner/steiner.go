@@ -124,7 +124,7 @@ func Prune(t *graph.Topology) {
 				ea := graph.Edge{U: a, V: n}
 				eb := graph.Edge{U: n, V: b}
 				bridge := graph.Edge{U: a, V: b}.Canon()
-				if t.HasEdge(bridge) || t.EdgeLength(bridge) == 0 {
+				if t.HasEdge(bridge) || t.ZeroLength(bridge) {
 					continue
 				}
 				if err := t.RemoveEdge(ea); err != nil {
