@@ -16,6 +16,10 @@
 //	oraclesafety  oracle methods writing shared state
 //	nondetsource  wall clocks, math/rand, GOMAXPROCS-dependent logic
 //	floatcmp      ==/!= on floating-point delay and score values
+//	unitcheck     dimensional analysis of the circuit model (Ω·F = s)
+//
+// unitcheck propagates declared units across packages; -factdir writes the
+// per-package unit facts it derives as JSON sidecars for inspection.
 //
 // Findings are suppressed only by a justified annotation:
 //
@@ -30,12 +34,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"nontree/internal/analysis"
 	"nontree/internal/analysis/detordering"
 	"nontree/internal/analysis/floatcmp"
 	"nontree/internal/analysis/nondetsource"
 	"nontree/internal/analysis/oraclesafety"
+	"nontree/internal/analysis/unitcheck"
 )
 
 // Analyzers is the suite the multichecker runs, in report order.
@@ -44,10 +50,12 @@ var Analyzers = []*analysis.Analyzer{
 	floatcmp.Analyzer,
 	nondetsource.Analyzer,
 	oraclesafety.Analyzer,
+	unitcheck.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	factdir := flag.String("factdir", "", "write per-package analyzer facts as JSON sidecars into this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: nontree-lint [packages]\n\n")
 		flag.PrintDefaults()
@@ -65,10 +73,22 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := analysis.Run(os.Stdout, "", Analyzers, patterns...)
+	facts := map[string]*analysis.Facts{}
+	diags, err := analysis.RunFacts(os.Stdout, "", Analyzers, facts, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nontree-lint:", err)
 		os.Exit(2)
+	}
+	if *factdir != "" {
+		for name, f := range facts {
+			if f.Len() == 0 {
+				continue
+			}
+			if err := f.WriteDir(filepath.Join(*factdir, name)); err != nil {
+				fmt.Fprintln(os.Stderr, "nontree-lint:", err)
+				os.Exit(2)
+			}
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "nontree-lint: %d finding(s)\n", len(diags))

@@ -9,9 +9,9 @@ import (
 
 // TestRepositoryIsClean runs the full multichecker over every package in
 // the module and asserts zero diagnostics, locking the tree's clean state:
-// any new map-ordering, oracle-mutation, nondeterminism-source, or
-// float-equality site fails this test (and the CI lint gate) until it is
-// fixed or carries a justified //nontree:allow annotation.
+// any new map-ordering, oracle-mutation, nondeterminism-source,
+// float-equality, or unit-mismatch site fails this test (and the CI lint
+// gate) until it is fixed or carries a justified //nontree:allow annotation.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
@@ -36,6 +36,7 @@ func TestAnalyzerRoster(t *testing.T) {
 		"floatcmp":     true,
 		"nondetsource": true,
 		"oraclesafety": true,
+		"unitcheck":    true,
 	}
 	if len(Analyzers) != len(want) {
 		t.Fatalf("expected %d analyzers, got %d", len(want), len(Analyzers))

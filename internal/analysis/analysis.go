@@ -70,6 +70,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the analyzer's cross-package fact store for this run. The
+	// driver hands every package of one Run the same store (in dependency
+	// order), so facts exported while analyzing a package are visible when
+	// its importers are analyzed. Never nil.
+	Facts *Facts
 
 	allow  allowIndex
 	report func(Diagnostic)
@@ -171,9 +176,18 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 	return ai
 }
 
-// RunAnalyzer executes one analyzer over a loaded package, returning its
-// diagnostics sorted by position.
+// RunAnalyzer executes one analyzer over a loaded package with a fresh
+// fact store, returning its diagnostics sorted by position.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunAnalyzerFacts(a, pkg, NewFacts())
+}
+
+// RunAnalyzerFacts is RunAnalyzer with a caller-supplied fact store,
+// letting a driver share one store across the packages of a run.
+func RunAnalyzerFacts(a *Analyzer, pkg *Package, facts *Facts) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFacts()
+	}
 	var out []Diagnostic
 	pass := &Pass{
 		Analyzer: a,
@@ -181,6 +195,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Facts:    facts,
 		allow:    buildAllowIndex(pkg.Fset, pkg.Files),
 		report:   func(d Diagnostic) { out = append(out, d) },
 	}

@@ -45,19 +45,24 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Error      *struct{ Err string }
 }
 
 // Load resolves patterns (e.g. "./...", "nontree/internal/core") relative
 // to dir (the process working directory when dir is empty) and returns the
-// type-checked packages in `go list` order. Only non-test GoFiles are
-// analyzed: the contracts gate the algorithms themselves; tests are free to
-// use wall clocks and ad-hoc comparisons.
+// type-checked packages in dependency order: every package appears after
+// the packages it imports (ties broken by `go list` order). Analyzers that
+// export facts rely on this — a declaration's facts are recorded before
+// any importer is analyzed. Only non-test GoFiles are analyzed: the
+// contracts gate the algorithms themselves; tests are free to use wall
+// clocks and ad-hoc comparisons.
 func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	listed = topoSort(listed)
 	pkgs := make([]*Package, 0, len(listed))
 	for _, lp := range listed {
 		if len(lp.GoFiles) == 0 {
@@ -129,9 +134,40 @@ func (l *Loader) check(lp listedPackage) (*Package, error) {
 	}, nil
 }
 
+// topoSort orders packages so imports precede importers: a depth-first
+// post-order over the listed set, seeded in `go list` order so the result
+// is deterministic. Imports outside the listed set are ignored — their
+// facts cannot exist in this run anyway. `go list` has already rejected
+// import cycles, so the recursion terminates.
+func topoSort(listed []*listedPackage) []*listedPackage {
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+	seen := make(map[string]bool, len(listed))
+	out := make([]*listedPackage, 0, len(listed))
+	var visit func(lp *listedPackage)
+	visit = func(lp *listedPackage) {
+		if seen[lp.ImportPath] {
+			return
+		}
+		seen[lp.ImportPath] = true
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, lp)
+	}
+	for _, lp := range listed {
+		visit(lp)
+	}
+	return out
+}
+
 // goList shells out to `go list -json` and decodes the package stream.
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Error", "--"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Imports,Error", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer

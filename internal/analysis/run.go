@@ -11,10 +11,29 @@ import (
 // them. A non-nil error reports an operational failure (unparseable source,
 // type errors, go list failure) — not findings.
 func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	return RunFacts(w, dir, analyzers, nil, patterns...)
+}
+
+// RunFacts is Run with caller-visible fact stores: facts[name] is the
+// store handed to the analyzer of that name for every package of the run
+// (missing entries are created), so callers can inspect or persist what
+// an analyzer exported — nontree-lint's -factdir sidecar dump and the
+// fact-count acceptance test both use this. Packages are analyzed in
+// dependency order (Loader.Load), which is what makes cross-package fact
+// propagation sound.
+func RunFacts(w io.Writer, dir string, analyzers []*Analyzer, facts map[string]*Facts, patterns ...string) ([]Diagnostic, error) {
 	loader := NewLoader()
 	pkgs, err := loader.Load(dir, patterns...)
 	if err != nil {
 		return nil, err
+	}
+	if facts == nil {
+		facts = map[string]*Facts{}
+	}
+	for _, a := range analyzers {
+		if facts[a.Name] == nil {
+			facts[a.Name] = NewFacts()
+		}
 	}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
@@ -22,7 +41,7 @@ func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) ([]
 			if !a.InScope(pkg.Path) {
 				continue
 			}
-			ds, err := RunAnalyzer(a, pkg)
+			ds, err := RunAnalyzerFacts(a, pkg, facts[a.Name])
 			if err != nil {
 				return nil, err
 			}

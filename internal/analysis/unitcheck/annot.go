@@ -1,0 +1,369 @@
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"nontree/internal/analysis"
+	"nontree/internal/analysis/units"
+)
+
+// unitDirective is the comment prefix declaring a dimension. ast's
+// CommentGroup.Text strips directive-shaped lines, so directives never
+// collide with the doc-paren convention applied to the same comment.
+const unitDirective = "//nontree:unit"
+
+// funcUnits holds the declared dimensions of one function-shaped
+// declaration: parameter units by name, result units by index.
+type funcUnits struct {
+	params  map[string]units.Dim
+	results map[int]units.Dim
+}
+
+func newFuncUnits() *funcUnits {
+	return &funcUnits{params: map[string]units.Dim{}, results: map[int]units.Dim{}}
+}
+
+func (fu *funcUnits) empty() bool { return len(fu.params) == 0 && len(fu.results) == 0 }
+
+// annots indexes every dimension declared in the package under analysis,
+// keyed by the go/types object so use sites resolve in O(1).
+type annots struct {
+	vals  map[types.Object]units.Dim
+	funcs map[types.Object]*funcUnits
+}
+
+// collect walks the package's declarations, resolves every unit
+// annotation (directive, doc-paren convention, name-suffix convention),
+// reports malformed directives, and exports each resolved dimension as a
+// fact so importing packages see it.
+func collect(pass *analysis.Pass) *annots {
+	an := &annots{
+		vals:  map[types.Object]units.Dim{},
+		funcs: map[types.Object]*funcUnits{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				an.collectGen(pass, d)
+			case *ast.FuncDecl:
+				an.collectFuncDecl(pass, d)
+			}
+		}
+	}
+	return an
+}
+
+func (an *annots) collectGen(pass *analysis.Pass, d *ast.GenDecl) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			doc := specDoc(d, ts.Doc)
+			switch t := ts.Type.(type) {
+			case *ast.StructType:
+				an.collectStruct(pass, ts.Name.Name, t)
+			case *ast.InterfaceType:
+				an.collectInterface(pass, ts.Name.Name, t)
+			case *ast.FuncType:
+				// Named func type, e.g. rc.WidthFunc: directives in the
+				// type's doc comment, attached to the TypeName object.
+				fu := an.funcDirectives(pass, t, doc, ts.Comment)
+				if !fu.empty() {
+					obj := pass.Info.Defs[ts.Name]
+					an.funcs[obj] = fu
+					exportFunc(pass, pass.Pkg.Path()+"."+ts.Name.Name, fu)
+				}
+			}
+		}
+	case token.CONST, token.VAR:
+		for _, spec := range d.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			doc := specDoc(d, vs.Doc)
+			for _, name := range vs.Names {
+				dim, ok := unitOf(pass, name.Name, doc, vs.Comment)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[name]
+				an.vals[obj] = dim
+				exportVal(pass, pass.Pkg.Path()+"."+name.Name, dim)
+			}
+		}
+	}
+}
+
+// specDoc prefers the spec's own doc; a single-spec declaration without
+// parentheses attaches the doc to the GenDecl instead.
+func specDoc(d *ast.GenDecl, specDoc *ast.CommentGroup) *ast.CommentGroup {
+	if specDoc != nil {
+		return specDoc
+	}
+	if len(d.Specs) == 1 {
+		return d.Doc
+	}
+	return nil
+}
+
+func (an *annots) collectStruct(pass *analysis.Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			dim, ok := unitOf(pass, name.Name, field.Doc, field.Comment)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			an.vals[obj] = dim
+			exportVal(pass, pass.Pkg.Path()+"."+typeName+"."+name.Name, dim)
+		}
+	}
+}
+
+func (an *annots) collectInterface(pass *analysis.Pass, ifaceName string, it *ast.InterfaceType) {
+	for _, method := range it.Methods.List {
+		ft, ok := method.Type.(*ast.FuncType)
+		if !ok || len(method.Names) == 0 {
+			continue // embedded interface
+		}
+		fu := an.funcDirectives(pass, ft, method.Doc, method.Comment)
+		if fu.empty() {
+			continue
+		}
+		name := method.Names[0]
+		obj := pass.Info.Defs[name]
+		an.funcs[obj] = fu
+		exportFunc(pass, pass.Pkg.Path()+"."+ifaceName+"."+name.Name, fu)
+	}
+}
+
+func (an *annots) collectFuncDecl(pass *analysis.Pass, d *ast.FuncDecl) {
+	fu := an.funcDirectives(pass, d.Type, d.Doc, nil)
+	if fu.empty() {
+		return
+	}
+	obj := pass.Info.Defs[d.Name]
+	an.funcs[obj] = fu
+	key := pass.Pkg.Path() + "."
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := recvNamed(fn); recv != "" {
+			key += recv + "."
+		}
+	}
+	exportFunc(pass, key+d.Name.Name, fu)
+}
+
+// recvNamed returns the name of a method's receiver type, "" for plain
+// functions.
+func recvNamed(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	if named := namedOf(recv.Type()); named != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// funcDirectives resolves the parameter/result units of a function-shaped
+// declaration: //nontree:unit directives of the form "<param> <expr>",
+// "return <expr>" or "return<N> <expr>", plus the Hz/Rad name-suffix
+// convention on parameters. Malformed directives are reported.
+func (an *annots) funcDirectives(pass *analysis.Pass, ft *ast.FuncType, groups ...*ast.CommentGroup) *funcUnits {
+	fu := newFuncUnits()
+
+	paramNames := map[string]bool{}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				paramNames[name.Name] = true
+				if d, ok := suffixUnit(name.Name); ok {
+					fu.params[name.Name] = d
+				}
+			}
+		}
+	}
+	nresults := 0
+	if ft.Results != nil {
+		nresults = ft.Results.NumFields()
+	}
+
+	for _, dir := range directivesIn(groups...) {
+		fields := strings.Fields(dir.payload)
+		if len(fields) < 2 {
+			pass.Reportf(dir.pos, "malformed %s directive: want \"<param> <unit>\" or \"return <unit>\"", unitDirective)
+			continue
+		}
+		target, expr := fields[0], strings.Join(fields[1:], " ")
+		idx, isResult := resultIndex(target)
+		if isResult && idx >= nresults {
+			pass.Reportf(dir.pos, "%s directive targets result %d, but the function has %d result(s)", unitDirective, idx, nresults)
+			continue
+		}
+		if !isResult && !paramNames[target] {
+			pass.Reportf(dir.pos, "%s directive names unknown parameter %q", unitDirective, target)
+			continue
+		}
+		dim, err := units.Parse(expr)
+		if err != nil {
+			pass.Reportf(dir.pos, "bad unit expression %q in %s directive: %v", expr, unitDirective, err)
+			continue
+		}
+		if isResult {
+			fu.results[idx] = dim
+		} else {
+			fu.params[target] = dim
+		}
+	}
+	return fu
+}
+
+// resultIndex parses a "return" / "return<N>" directive target.
+func resultIndex(target string) (int, bool) {
+	rest, ok := strings.CutPrefix(target, "return")
+	if !ok {
+		return 0, false
+	}
+	if rest == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// directive is one //nontree:unit comment with its payload.
+type directive struct {
+	pos     token.Pos
+	payload string
+}
+
+func directivesIn(groups ...*ast.CommentGroup) []directive {
+	var out []directive
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, unitDirective)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			// A "//" inside the payload starts a nested comment (the
+			// fixtures' same-line want expectations); no unit expression
+			// contains one.
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			out = append(out, directive{pos: c.Pos(), payload: strings.TrimSpace(rest)})
+		}
+	}
+	return out
+}
+
+// unitOf resolves the dimension of one value declaration (struct field,
+// package const or var) from, in precedence order: a //nontree:unit
+// directive, the trailing parenthesized unit in the doc comment, and the
+// Hz/Rad name-suffix convention.
+func unitOf(pass *analysis.Pass, name string, groups ...*ast.CommentGroup) (units.Dim, bool) {
+	for _, dir := range directivesIn(groups...) {
+		dim, err := units.Parse(dir.payload)
+		if err != nil {
+			pass.Reportf(dir.pos, "bad unit expression %q in %s directive: %v", dir.payload, unitDirective, err)
+			return units.Dim{}, false
+		}
+		return dim, true
+	}
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		if dim, ok := parenUnit(cg.Text()); ok {
+			return dim, true
+		}
+	}
+	return suffixUnit(name)
+}
+
+var parenRe = regexp.MustCompile(`\(([^()]+)\)`)
+
+// parenUnit recognizes the doc-comment convention used throughout
+// rc.Params: the last parenthesized group that parses as a unit
+// expression — "series resistance per unit length (Ω/µm)". A bare "(s)"
+// is deliberately skipped: in prose it is an English plural marker far
+// more often than the second, so seconds require a directive.
+func parenUnit(text string) (units.Dim, bool) {
+	matches := parenRe.FindAllStringSubmatch(text, -1)
+	for i := len(matches) - 1; i >= 0; i-- {
+		expr := strings.TrimSpace(matches[i][1])
+		if expr == "s" {
+			continue
+		}
+		if dim, err := units.Parse(expr); err == nil {
+			return dim, true
+		}
+	}
+	return units.Dim{}, false
+}
+
+// suffixUnit applies the name convention: FrequencyHz, freqsHz carry
+// hertz; PhaseRad carries radians (dimensionless).
+func suffixUnit(name string) (units.Dim, bool) {
+	switch {
+	case len(name) > 2 && strings.HasSuffix(name, "Hz"):
+		return units.MustParse("Hz"), true
+	case len(name) > 3 && strings.HasSuffix(name, "Rad"):
+		return units.One, true
+	}
+	return units.Dim{}, false
+}
+
+func exportVal(pass *analysis.Pass, key string, dim units.Dim) {
+	// String is round-trip safe (fuzzed), so the canonical rendering is
+	// the wire format.
+	_ = pass.Facts.Export(pass.Pkg.Path(), key, ValueFact{Unit: dim.String()})
+}
+
+func exportFunc(pass *analysis.Pass, key string, fu *funcUnits) {
+	ff := FuncFact{}
+	if len(fu.params) > 0 {
+		ff.Params = map[string]string{}
+		for name, d := range fu.params {
+			ff.Params[name] = d.String()
+		}
+	}
+	if len(fu.results) > 0 {
+		ff.Results = map[string]string{}
+		for i, d := range fu.results {
+			ff.Results[strconv.Itoa(i)] = d.String()
+		}
+	}
+	_ = pass.Facts.Export(pass.Pkg.Path(), key, ff)
+}
+
+// namedOf unwraps pointers to the named type beneath, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}

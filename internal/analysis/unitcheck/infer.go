@@ -1,0 +1,782 @@
+package unitcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"nontree/internal/analysis"
+	"nontree/internal/analysis/units"
+)
+
+// inferencer propagates dimensions through one function (or package-level
+// initializer) at a time. Annotations are ground truth; everything else is
+// inferred structurally, and an expression whose dimension cannot be
+// established is simply unknown — the analyzer stays silent rather than
+// guess, so every diagnostic rests on a declared unit.
+type inferencer struct {
+	pass *analysis.Pass
+	an   *annots
+	// factFuncs memoizes cross-package function-fact lookups by key; a nil
+	// entry records a confirmed miss.
+	factFuncs map[string]*funcUnits
+	// local maps function-local variables to their declared or inferred
+	// dimensions; reset per function.
+	local map[types.Object]units.Dim
+	// results holds the declared result dimensions of the function being
+	// walked (nil when unannotated), consulted by return statements.
+	results map[int]units.Dim
+}
+
+// checkFuncDecl analyzes one function body: parameters and named results
+// pick up their declared dimensions, then every statement is walked.
+func (inf *inferencer) checkFuncDecl(d *ast.FuncDecl) {
+	if d.Body == nil {
+		return
+	}
+	inf.local = map[types.Object]units.Dim{}
+	inf.results = nil
+	if fu := inf.an.funcs[inf.pass.Info.Defs[d.Name]]; fu != nil {
+		inf.results = fu.results
+		inf.seedParams(d.Type, fu)
+		inf.seedNamedResults(d.Type, fu)
+	}
+	inf.walk(d.Body)
+}
+
+// checkPackageValues checks the initializer expressions of a package-level
+// var or const declaration against the declared dimensions of their names.
+func (inf *inferencer) checkPackageValues(d *ast.GenDecl) {
+	inf.local = map[types.Object]units.Dim{}
+	inf.results = nil
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, val := range vs.Values {
+			if i < len(vs.Names) {
+				if want, ok := inf.an.vals[inf.pass.Info.Defs[vs.Names[i]]]; ok {
+					inf.checkStore(val, want, "initialization of "+vs.Names[i].Name)
+				}
+			}
+			inf.walk(val)
+		}
+	}
+}
+
+func (inf *inferencer) seedParams(ft *ast.FuncType, fu *funcUnits) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if dim, ok := fu.params[name.Name]; ok {
+				inf.local[inf.pass.Info.Defs[name]] = dim
+			}
+		}
+	}
+}
+
+func (inf *inferencer) seedNamedResults(ft *ast.FuncType, fu *funcUnits) {
+	if ft.Results == nil {
+		return
+	}
+	i := 0
+	for _, field := range ft.Results.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if dim, ok := fu.results[i]; ok && name.Name != "_" {
+				inf.local[inf.pass.Info.Defs[name]] = dim
+			}
+			i++
+		}
+	}
+}
+
+// walk visits every node under n in source order, which matches the
+// straight-line dataflow the local environment needs: an assignment is
+// seen before the uses that follow it.
+func (inf *inferencer) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			inf.walkFuncLit(x)
+			return false
+		case *ast.AssignStmt:
+			inf.checkAssign(x)
+		case *ast.ReturnStmt:
+			inf.checkReturn(x)
+		case *ast.RangeStmt:
+			inf.inferRange(x)
+		case *ast.DeclStmt:
+			inf.checkLocalDecl(x)
+		case *ast.BinaryExpr:
+			inf.checkBinary(x)
+		case *ast.CallExpr:
+			inf.checkCallArgs(x)
+		case *ast.CompositeLit:
+			inf.checkCompositeLit(x)
+		}
+		return true
+	})
+}
+
+// walkFuncLit analyzes a function literal with its own return context;
+// the local environment is shared, matching closure capture.
+func (inf *inferencer) walkFuncLit(fl *ast.FuncLit) {
+	saved := inf.results
+	inf.results = nil
+	if fl.Type.Params != nil {
+		for _, field := range fl.Type.Params.List {
+			for _, name := range field.Names {
+				if dim, ok := suffixUnit(name.Name); ok {
+					inf.local[inf.pass.Info.Defs[name]] = dim
+				}
+			}
+		}
+	}
+	inf.walk(fl.Body)
+	inf.results = saved
+}
+
+func (inf *inferencer) checkAssign(a *ast.AssignStmt) {
+	switch a.Tok {
+	case token.ASSIGN, token.DEFINE:
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+			return
+		}
+		if want, ok := inf.dimOf(a.Lhs[0]); ok {
+			inf.checkStore(a.Rhs[0], want, "op-assignment")
+		} else if got, ok := inf.dimOf(a.Rhs[0]); ok && !inf.adoptable(a.Rhs[0]) {
+			// x += y forces x and y to share a dimension; an accumulator
+			// declared `var sum float64` learns its unit from what it sums.
+			inf.setInferred(a.Lhs[0], got)
+		}
+		return
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+			return
+		}
+		dl, okl := inf.dimOf(a.Lhs[0])
+		if !okl {
+			return
+		}
+		dr, okr := inf.dimOf(a.Rhs[0])
+		if !okr {
+			if !inf.adoptable(a.Rhs[0]) {
+				inf.clearLocal(a.Lhs[0])
+				return
+			}
+			dr = units.One
+		}
+		if a.Tok == token.MUL_ASSIGN {
+			inf.setInferred(a.Lhs[0], dl.Mul(dr))
+		} else {
+			inf.setInferred(a.Lhs[0], dl.Div(dr))
+		}
+		return
+	default:
+		return
+	}
+
+	// Multi-value form: a, b := f().
+	if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+		call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fu, _ := inf.calleeUnits(call)
+		for i, lhs := range a.Lhs {
+			if fu != nil {
+				if d, ok := fu.results[i]; ok {
+					inf.bindDim(lhs, d, "assignment")
+					continue
+				}
+			}
+			inf.clearLocal(lhs)
+		}
+		return
+	}
+
+	for i, lhs := range a.Lhs {
+		if i >= len(a.Rhs) {
+			break
+		}
+		inf.assignPair(lhs, a.Rhs[i])
+	}
+}
+
+// assignPair handles one lhs = rhs pair: targets with a declared
+// dimension are checked; plain local targets pick up the rhs dimension.
+func (inf *inferencer) assignPair(lhs, rhs ast.Expr) {
+	if want, ok := inf.lvalueDim(lhs); ok {
+		inf.checkStore(rhs, want, "assignment")
+		return
+	}
+	if inf.adoptable(rhs) {
+		return // a constant adopts the target's dimension; keep what we know
+	}
+	if got, ok := inf.dimOf(rhs); ok {
+		inf.setInferred(lhs, got)
+	} else {
+		inf.clearLocal(lhs)
+	}
+}
+
+// bindDim records or checks a known dimension flowing into an assignment
+// target (used when the dimension comes from a multi-result call, where
+// there is no per-target rhs expression).
+func (inf *inferencer) bindDim(lhs ast.Expr, got units.Dim, what string) {
+	if want, ok := inf.lvalueDim(lhs); ok {
+		if got != want {
+			inf.reportDim(lhs.Pos(), what, want, got)
+		}
+		return
+	}
+	inf.setInferred(lhs, got)
+}
+
+func (inf *inferencer) checkReturn(r *ast.ReturnStmt) {
+	if inf.results == nil {
+		return
+	}
+	for i, expr := range r.Results {
+		if want, ok := inf.results[i]; ok {
+			inf.checkStore(expr, want, "return value")
+		}
+	}
+}
+
+// inferRange gives a range value variable the element dimension of the
+// container (an annotation on a slice, array or map declares its
+// elements' dimension).
+func (inf *inferencer) inferRange(r *ast.RangeStmt) {
+	if r.Tok != token.DEFINE || r.Value == nil {
+		return
+	}
+	id, ok := r.Value.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if d, ok := inf.dimOf(r.X); ok {
+		if obj := inf.pass.Info.Defs[id]; obj != nil {
+			inf.local[obj] = d
+		}
+	}
+}
+
+// checkLocalDecl handles `var` declarations inside a function: the name
+// conventions and //nontree:unit directives apply to locals too, and
+// undeclared locals infer from their initializers.
+func (inf *inferencer) checkLocalDecl(ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok || (gd.Tok != token.VAR && gd.Tok != token.CONST) {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			obj := inf.pass.Info.Defs[name]
+			if dim, ok := unitOf(inf.pass, name.Name, specDoc(gd, vs.Doc), vs.Comment); ok {
+				inf.local[obj] = dim
+				if i < len(vs.Values) {
+					inf.checkStore(vs.Values[i], dim, "initialization of "+name.Name)
+				}
+				continue
+			}
+			if i < len(vs.Values) {
+				if d, ok := inf.dimOf(vs.Values[i]); ok && !inf.adoptable(vs.Values[i]) {
+					inf.local[obj] = d
+				}
+			}
+		}
+	}
+}
+
+// checkBinary demands equal dimensions (including scale) of the operands
+// of additive and comparison operators. Constants adopt the other side's
+// dimension; a mismatch that agrees on dimensions but not scale is called
+// out as an SI-prefix slip, the classic fF-vs-F bug.
+func (inf *inferencer) checkBinary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	if !isNumeric(inf.pass.TypeOf(b.X)) || !isNumeric(inf.pass.TypeOf(b.Y)) {
+		return
+	}
+	if inf.adoptable(b.X) || inf.adoptable(b.Y) {
+		return
+	}
+	dx, okx := inf.dimOf(b.X)
+	dy, oky := inf.dimOf(b.Y)
+	if !okx || !oky || dx == dy {
+		return
+	}
+	if dx.SameDims(dy) {
+		inf.pass.Reportf(b.OpPos, "%s %s %s: same dimension, different SI scale (prefix slip)", dx, b.Op, dy)
+		return
+	}
+	inf.pass.Reportf(b.OpPos, "%s %s %s: mismatched dimensions", dx, b.Op, dy)
+}
+
+// checkCallArgs checks argument dimensions against the callee's declared
+// parameter units.
+func (inf *inferencer) checkCallArgs(call *ast.CallExpr) {
+	if tv, ok := inf.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	fu, sig := inf.calleeUnits(call)
+	if fu == nil || sig == nil || len(fu.params) == 0 || call.Ellipsis.IsValid() {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= np-1 {
+			pi = np - 1 // a variadic annotation declares the element unit
+		}
+		if pi >= np {
+			break
+		}
+		p := sig.Params().At(pi)
+		if want, ok := fu.params[p.Name()]; ok {
+			inf.checkStore(arg, want, "argument "+strconv.Itoa(i)+" ("+p.Name()+")")
+		}
+	}
+}
+
+// checkCompositeLit checks keyed and positional struct literal values
+// against the fields' declared units.
+func (inf *inferencer) checkCompositeLit(cl *ast.CompositeLit) {
+	t := inf.pass.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	named := namedOf(t)
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			field, _ := inf.pass.Info.Uses[key].(*types.Var)
+			if field == nil {
+				continue
+			}
+			if want, ok := inf.fieldDim(field, named); ok {
+				inf.checkStore(kv.Value, want, "field "+key.Name)
+			}
+		} else if i < st.NumFields() {
+			if want, ok := inf.fieldDim(st.Field(i), named); ok {
+				inf.checkStore(elt, want, "field "+st.Field(i).Name())
+			}
+		}
+	}
+}
+
+// checkStore verifies one expression flowing into a destination with a
+// declared dimension.
+func (inf *inferencer) checkStore(expr ast.Expr, want units.Dim, what string) {
+	if inf.adoptable(expr) {
+		return
+	}
+	got, ok := inf.dimOf(expr)
+	if !ok || got == want {
+		return
+	}
+	inf.reportDim(expr.Pos(), what, want, got)
+}
+
+func (inf *inferencer) reportDim(pos token.Pos, what string, want, got units.Dim) {
+	if got.SameDims(want) {
+		inf.pass.Reportf(pos, "%s: %s value where %s is declared (SI prefix slip)", what, got, want)
+		return
+	}
+	inf.pass.Reportf(pos, "%s: %s value where %s is declared", what, got, want)
+}
+
+// dimOf establishes the dimension of an expression: annotations first,
+// then structure, then the integer fallback (integer-typed expressions
+// are dimensionless counts). The second result is false when no dimension
+// can be established.
+func (inf *inferencer) dimOf(e ast.Expr) (units.Dim, bool) {
+	if d, ok := inf.structuralDim(e); ok {
+		return d, true
+	}
+	if t := inf.pass.TypeOf(e); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return units.One, true
+		}
+	}
+	return units.Dim{}, false
+}
+
+func (inf *inferencer) structuralDim(e ast.Expr) (units.Dim, bool) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return inf.dimOf(x.X)
+	case *ast.Ident:
+		obj := inf.objOf(x)
+		if d, ok := inf.local[obj]; ok {
+			return d, true
+		}
+		if d, ok := inf.an.vals[obj]; ok {
+			return d, true
+		}
+		return inf.factValDim(obj)
+	case *ast.SelectorExpr:
+		return inf.selDim(x)
+	case *ast.IndexExpr:
+		return inf.dimOf(x.X) // container annotation is the element unit
+	case *ast.SliceExpr:
+		return inf.dimOf(x.X)
+	case *ast.StarExpr:
+		return inf.dimOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return inf.dimOf(x.X)
+		}
+	case *ast.BinaryExpr:
+		return inf.binaryDim(x)
+	case *ast.CallExpr:
+		return inf.callDim(x)
+	}
+	return units.Dim{}, false
+}
+
+// binaryDim composes dimensions through arithmetic: products and
+// quotients combine dimension vectors (Ω·F lands on s mechanically),
+// sums keep the known side's dimension, and constants contribute the
+// dimensionless unit.
+func (inf *inferencer) binaryDim(b *ast.BinaryExpr) (units.Dim, bool) {
+	dx, okx := inf.dimOf(b.X)
+	dy, oky := inf.dimOf(b.Y)
+	switch b.Op {
+	case token.MUL, token.QUO:
+		if !okx && inf.adoptable(b.X) {
+			dx, okx = units.One, true
+		}
+		if !oky && inf.adoptable(b.Y) {
+			dy, oky = units.One, true
+		}
+		if okx && oky {
+			if b.Op == token.MUL {
+				return dx.Mul(dy), true
+			}
+			return dx.Div(dy), true
+		}
+	case token.ADD, token.SUB:
+		if okx {
+			return dx, true
+		}
+		if oky {
+			return dy, true
+		}
+	}
+	return units.Dim{}, false
+}
+
+// callDim establishes the dimension of a call's (first) result:
+// conversions and the dimension-preserving math functions pass their
+// argument's dimension through, math.Sqrt halves exponents, math.Pow
+// with a constant integer exponent multiplies them, and annotated
+// functions yield their declared result unit.
+func (inf *inferencer) callDim(call *ast.CallExpr) (units.Dim, bool) {
+	if tv, ok := inf.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return inf.dimOf(call.Args[0])
+		}
+		return units.Dim{}, false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		return inf.dimOf(call.Args[0])
+	}
+	info := inf.pass.Info
+	if len(call.Args) >= 1 {
+		switch {
+		case analysis.IsPkgCall(info, call, "math", "Abs", "Floor", "Ceil", "Round", "Trunc",
+			"Max", "Min", "Mod", "Remainder", "Hypot", "Copysign", "Dim", "FMA", "Nextafter"):
+			return inf.dimOf(call.Args[0])
+		case analysis.IsPkgCall(info, call, "math", "Sqrt"):
+			if d, ok := inf.dimOf(call.Args[0]); ok {
+				if r, ok := d.Sqrt(); ok {
+					return r, true
+				}
+			}
+			return units.Dim{}, false
+		case analysis.IsPkgCall(info, call, "math", "Pow"):
+			if len(call.Args) == 2 {
+				if d, ok := inf.dimOf(call.Args[0]); ok {
+					if n, ok := intConst(info, call.Args[1]); ok {
+						return d.Pow(n), true
+					}
+					if d.IsOne() {
+						return units.One, true
+					}
+				}
+			}
+			return units.Dim{}, false
+		}
+	}
+	if fu, _ := inf.calleeUnits(call); fu != nil {
+		if d, ok := fu.results[0]; ok {
+			return d, true
+		}
+	}
+	return units.Dim{}, false
+}
+
+// calleeUnits resolves the declared units and signature of a call's
+// target: a function or method (local annotation or cross-package fact),
+// or a value of an annotated named func type.
+func (inf *inferencer) calleeUnits(call *ast.CallExpr) (*funcUnits, *types.Signature) {
+	t := inf.pass.TypeOf(call.Fun)
+	if t == nil {
+		return nil, nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	if sig == nil {
+		return nil, nil
+	}
+	var fu *funcUnits
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fu = inf.funcUnitsOf(inf.objOf(fun))
+	case *ast.SelectorExpr:
+		fu = inf.funcUnitsOf(inf.pass.Info.Uses[fun.Sel])
+	}
+	if fu == nil {
+		if named := namedOf(t); named != nil {
+			fu = inf.funcUnitsOf(named.Obj())
+		}
+	}
+	return fu, sig
+}
+
+// funcUnitsOf looks up the declared units of a function-shaped object:
+// the current package's annotations first, then the imported fact.
+func (inf *inferencer) funcUnitsOf(obj types.Object) *funcUnits {
+	if obj == nil {
+		return nil
+	}
+	if fu, ok := inf.an.funcs[obj]; ok {
+		return fu
+	}
+	if obj.Pkg() == nil || obj.Pkg() == inf.pass.Pkg {
+		return nil
+	}
+	key := obj.Pkg().Path() + "."
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := recvNamed(fn); recv != "" {
+			key += recv + "."
+		}
+	}
+	return inf.factFunc(key + obj.Name())
+}
+
+func (inf *inferencer) factFunc(key string) *funcUnits {
+	if fu, ok := inf.factFuncs[key]; ok {
+		return fu
+	}
+	var ff FuncFact
+	var fu *funcUnits
+	if inf.pass.Facts.Import(key, &ff) && (len(ff.Params) > 0 || len(ff.Results) > 0) {
+		fu = newFuncUnits()
+		for name, expr := range ff.Params {
+			if d, err := units.Parse(expr); err == nil {
+				fu.params[name] = d
+			}
+		}
+		for idx, expr := range ff.Results {
+			i, errIdx := strconv.Atoi(idx)
+			d, errDim := units.Parse(expr)
+			if errIdx == nil && errDim == nil {
+				fu.results[i] = d
+			}
+		}
+	}
+	inf.factFuncs[key] = fu
+	return fu
+}
+
+// selDim resolves x.Sel: a package-qualified const/var, or a struct field
+// access (local annotation or cross-package fact through the receiver's
+// named type). Promoted fields of embedded structs are skipped.
+func (inf *inferencer) selDim(x *ast.SelectorExpr) (units.Dim, bool) {
+	if id, ok := x.X.(*ast.Ident); ok {
+		if _, isPkg := inf.pass.Info.Uses[id].(*types.PkgName); isPkg {
+			return inf.factValDim(inf.pass.Info.Uses[x.Sel])
+		}
+	}
+	sel := inf.pass.Info.Selections[x]
+	if sel == nil || sel.Kind() != types.FieldVal || len(sel.Index()) > 1 {
+		return units.Dim{}, false
+	}
+	field, _ := sel.Obj().(*types.Var)
+	if field == nil {
+		return units.Dim{}, false
+	}
+	return inf.fieldDim(field, namedOf(sel.Recv()))
+}
+
+// fieldDim resolves a struct field's dimension, locally or through the
+// owning named type's exported fact.
+func (inf *inferencer) fieldDim(field *types.Var, owner *types.Named) (units.Dim, bool) {
+	if d, ok := inf.an.vals[field]; ok {
+		return d, true
+	}
+	if field.Pkg() == nil || field.Pkg() == inf.pass.Pkg || owner == nil {
+		return units.Dim{}, false
+	}
+	key := field.Pkg().Path() + "." + owner.Obj().Name() + "." + field.Name()
+	var vf ValueFact
+	if !inf.pass.Facts.Import(key, &vf) || vf.Unit == "" {
+		return units.Dim{}, false
+	}
+	d, err := units.Parse(vf.Unit)
+	if err != nil {
+		return units.Dim{}, false
+	}
+	return d, true
+}
+
+// factValDim resolves the dimension of an imported package-level const or
+// var.
+func (inf *inferencer) factValDim(obj types.Object) (units.Dim, bool) {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg() == inf.pass.Pkg {
+		return units.Dim{}, false
+	}
+	var vf ValueFact
+	if !inf.pass.Facts.Import(obj.Pkg().Path()+"."+obj.Name(), &vf) || vf.Unit == "" {
+		return units.Dim{}, false
+	}
+	d, err := units.Parse(vf.Unit)
+	if err != nil {
+		return units.Dim{}, false
+	}
+	return d, true
+}
+
+// adoptable reports whether e is a constant expression with no declared
+// dimension: literals like 2.0 or 15.3e-15 take whatever unit the context
+// demands. A named constant carrying its own annotation is not
+// polymorphic.
+func (inf *inferencer) adoptable(e ast.Expr) bool {
+	tv, ok := inf.pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := inf.objOf(x)
+		if _, ok := inf.an.vals[obj]; ok {
+			return false
+		}
+		if _, ok := inf.factValDim(obj); ok {
+			return false
+		}
+	case *ast.SelectorExpr:
+		if _, ok := inf.selDim(x); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lvalueDim returns the declared dimension of an assignment target —
+// annotated fields, globals and container elements. Locals with merely
+// inferred dimensions report false: reassigning a reused local to a new
+// quantity is not a finding.
+func (inf *inferencer) lvalueDim(e ast.Expr) (units.Dim, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := inf.objOf(x)
+		if d, ok := inf.an.vals[obj]; ok {
+			return d, true
+		}
+		return inf.factValDim(obj)
+	case *ast.SelectorExpr:
+		return inf.selDim(x)
+	case *ast.IndexExpr:
+		return inf.lvalueDim(x.X)
+	case *ast.StarExpr:
+		return inf.lvalueDim(x.X)
+	}
+	return units.Dim{}, false
+}
+
+// setInferred records an inferred dimension for a function-local target.
+func (inf *inferencer) setInferred(lhs ast.Expr, d units.Dim) {
+	if obj := inf.localTarget(lhs); obj != nil {
+		inf.local[obj] = d
+	}
+}
+
+// clearLocal drops a stale inferred dimension when a local is reassigned
+// to something unknown.
+func (inf *inferencer) clearLocal(lhs ast.Expr) {
+	if obj := inf.localTarget(lhs); obj != nil {
+		delete(inf.local, obj)
+	}
+}
+
+// localTarget returns the function-local variable an assignment writes,
+// or nil for fields, package-level vars, blanks and non-identifiers.
+func (inf *inferencer) localTarget(lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	v, ok := inf.objOf(id).(*types.Var)
+	if !ok || v.IsField() || inf.pass.Pkg.Scope().Lookup(v.Name()) == v {
+		return nil
+	}
+	return v
+}
+
+func (inf *inferencer) objOf(id *ast.Ident) types.Object {
+	if obj := inf.pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return inf.pass.Info.Defs[id]
+}
+
+func isNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func intConst(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	n, ok := constant.Int64Val(v)
+	if !ok {
+		return 0, false
+	}
+	return int(n), true
+}

@@ -1,0 +1,166 @@
+// Package a exercises the unitcheck analyzer: an rc-like circuit model
+// with deliberate dimensional bugs alongside clean control cases that
+// must stay silent.
+package a
+
+import "math"
+
+// Params mirrors the shape of the real circuit parameters, with every
+// annotation style the analyzer recognizes.
+type Params struct {
+	// DriverResistance is the source impedance (Ω).
+	DriverResistance float64
+	// WireResistance is series resistance per unit length (Ω/µm).
+	WireResistance float64
+	// WireCapacitance is shunt capacitance per unit length (F/µm).
+	WireCapacitance float64
+	// SinkCap is a sink load in femtofarads.
+	SinkCap float64 //nontree:unit fF
+	// LoadCap is a lumped load in plain farads.
+	LoadCap float64 //nontree:unit F
+	// FrequencyHz carries hertz by name convention.
+	FrequencyHz float64
+}
+
+// Pair is a positional-literal target.
+type Pair struct {
+	R float64 //nontree:unit Ω
+	C float64 //nontree:unit F
+}
+
+// Width maps a position along the wire (µm) to a width (µm).
+//
+//nontree:unit pos µm
+//nontree:unit return µm
+type Width func(pos float64) float64
+
+// Oracle reports per-sink delays.
+type Oracle interface {
+	// Delays returns one delay per sink.
+	//
+	//nontree:unit scale 1
+	//nontree:unit return s
+	Delays(scale float64) []float64
+}
+
+// Delay gets its contract wrong: an RC product is a time, not a
+// resistance.
+//
+//nontree:unit r Ω
+//nontree:unit c F
+//nontree:unit return Ω
+func Delay(r, c float64) float64 {
+	return r * c // want `return value: s value where Ω is declared`
+}
+
+// Elmore is the clean control: Ω·F composes to s mechanically.
+//
+//nontree:unit r Ω
+//nontree:unit c F
+//nontree:unit return s
+func Elmore(r, c float64) float64 {
+	return 0.69 * r * c
+}
+
+// SegResistance is clean: (Ω/µm)·µm = Ω.
+//
+//nontree:unit length µm
+//nontree:unit return Ω
+func SegResistance(p Params, length float64) float64 {
+	return p.WireResistance * length
+}
+
+// MaxDelay is clean end to end: math passthroughs preserve dimensions,
+// sqrt halves squared exponents, and 1/Hz is a second.
+//
+//nontree:unit rtau s
+//nontree:unit return s
+func MaxDelay(rtau float64, p Params) float64 {
+	tau := p.DriverResistance * p.LoadCap
+	worst := math.Max(tau, rtau)
+	if p.FrequencyHz > 0 {
+		period := 1.0 / p.FrequencyHz
+		worst = math.Max(worst, math.Sqrt(period*rtau))
+	}
+	return worst
+}
+
+// TotalCap sums sink loads; range values inherit the slice's element
+// unit.
+//
+//nontree:unit caps fF
+//nontree:unit return fF
+func TotalCap(caps []float64) float64 {
+	total := caps[0]
+	for _, c := range caps[1:] {
+		total += c
+	}
+	return total
+}
+
+func addMismatch(p Params) float64 {
+	return p.DriverResistance + p.LoadCap // want `Ω \+ F: mismatched dimensions`
+}
+
+func prefixSlip(p Params) float64 {
+	return p.SinkCap + p.LoadCap // want `fF \+ F: same dimension, different SI scale \(prefix slip\)`
+}
+
+func compareMismatch(p Params) bool {
+	return p.SinkCap > p.DriverResistance // want `fF > Ω: mismatched dimensions`
+}
+
+func badArgument(p Params) float64 {
+	return Elmore(p.DriverResistance, p.DriverResistance) // want `argument 1 \(c\): Ω value where F is declared`
+}
+
+func badFuncValueArgument(w Width, p Params) float64 {
+	return w(p.DriverResistance) // want `argument 0 \(pos\): Ω value where µm is declared`
+}
+
+func badOracleUse(o Oracle, p Params) float64 {
+	ds := o.Delays(1)
+	return ds[0] + p.DriverResistance // want `s \+ Ω: mismatched dimensions`
+}
+
+func badKeyedLiteral(p Params) Params {
+	return Params{
+		DriverResistance: p.LoadCap, // want `field DriverResistance: F value where Ω is declared`
+		SinkCap:          15.3,      // constants adopt the declared unit
+	}
+}
+
+func badPositionalLiteral(p Params) Pair {
+	return Pair{p.LoadCap, 0} // want `field R: F value where Ω is declared`
+}
+
+func badFieldAssign(p *Params) {
+	tau := p.DriverResistance * p.LoadCap
+	p.SinkCap = tau // want `assignment: s value where fF is declared`
+}
+
+func badOpAssign(p Params) float64 {
+	tau := p.DriverResistance * p.LoadCap
+	tau += p.LoadCap // want `op-assignment: F value where s is declared`
+	return tau
+}
+
+func suppressedSlip(p Params) float64 {
+	//nontree:allow unitcheck fixture demonstrates the escape hatch
+	return p.SinkCap + p.LoadCap
+}
+
+// Weird carries a directive that does not parse.
+type Weird struct {
+	//nontree:unit zorkmid // want `bad unit expression "zorkmid"`
+	Bad float64
+}
+
+//nontree:unit q Ω // want `directive names unknown parameter "q"`
+func noSuchParam(r float64) float64 { return r }
+
+//nontree:unit Ω // want `malformed //nontree:unit directive`
+func malformedDirective() {}
+
+//nontree:unit return2 s // want `targets result 2, but the function has 1 result`
+func oneResult() float64 { return 0 }

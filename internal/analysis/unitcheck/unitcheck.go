@@ -1,0 +1,150 @@
+// Package unitcheck is a dimensional-analysis pass over the repository's
+// physics-bearing packages. Every number in the reproduction's results
+// flows from the Table 1 interconnect constants (100Ω driver, 0.352fF/µm
+// wire capacitance, 492fH/µm inductance, 15.3fF sink loads) through
+// rc → spice/elmore → core, and a single silent unit slip — farads where
+// femtofarads were meant, an Ω added to an F — skews every delay in
+// Tables 2–5 while the tier-1 tests keep passing. This analyzer makes the
+// units part of the checked surface.
+//
+// # Unit sources
+//
+// Dimensions enter through three kinds of annotation, in precedence
+// order:
+//
+//  1. Directives. A struct field, package const/var, or named func type
+//     carries
+//
+//     //nontree:unit <expr>
+//
+//     in its doc or trailing comment; a func or interface method carries
+//     one line per parameter or result in its doc comment:
+//
+//     //nontree:unit <param> <expr>
+//     //nontree:unit return <expr>     (first result; returnN for others)
+//
+//  2. Doc-comment convention. A parenthesized unit expression in a
+//     declaration's doc — "resistance per unit length (Ω/µm)" — is
+//     recognized, matching the style already used throughout rc.Params.
+//     A bare "(s)" is deliberately ignored (it reads as an English plural
+//     marker); seconds require a directive.
+//
+//  3. Name convention. Fields and parameters whose names end in "Hz" or
+//     "Rad" (FrequencyHz, PhaseRad, freqsHz) carry those units.
+//
+// An annotation on a slice, array or map type gives the dimension of its
+// elements. Unit expressions are the algebra of nontree/internal/analysis/units:
+// "Ω/µm", "F·µm⁻¹", "fF", "s^2".
+//
+// # Inference
+//
+// Within each function the analyzer propagates dimensions through the
+// expression tree: multiplication and division compose dimension vectors
+// (so an RC product lands on seconds by construction), addition,
+// subtraction and ordered comparison demand identical dimensions
+// (including scale — F vs fF is a finding, and the message calls out the
+// prefix slip), numeric literals adopt the dimension the context
+// declares, and integer expressions are dimensionless counts. Locals
+// pick up dimensions from their initializers; return statements, call
+// arguments, assignments and composite literals are checked against
+// declared units.
+//
+// # Cross-package facts
+//
+// Declared units are exported as per-package facts (see analysis.Facts)
+// keyed "<pkg>.<Type>.<member>" / "<pkg>.<name>", so a package sees the
+// dimensions of everything it imports; the driver's dependency-ordered
+// loading guarantees the facts exist in time. nontree-lint -factdir dumps
+// the stores as JSON sidecars for inspection.
+//
+// Findings are suppressed by the standard escape hatch,
+//
+//	//nontree:allow unitcheck <justification>
+//
+// on the flagged line or the line above.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+
+	"nontree/internal/analysis"
+)
+
+// Analyzer is the unitcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc: "dimensional analysis of the circuit model: annotated Ω/F/H/s/V/µm " +
+		"units must compose consistently through every expression",
+	Scope: []string{
+		"internal/rc",
+		"internal/spice",
+		"internal/elmore",
+		"internal/linalg",
+		"internal/core",
+		"internal/graph",
+	},
+	Run: run,
+}
+
+// ValueFact is the exported dimension of one value declaration (struct
+// field, package const or var): the canonical unit expression.
+type ValueFact struct {
+	Unit string `json:"unit"`
+}
+
+// FuncFact is the exported dimensions of a function, method, interface
+// method or named func type: parameter units by name and result units by
+// index (as a decimal string, for JSON friendliness).
+type FuncFact struct {
+	Params  map[string]string `json:"params,omitempty"`
+	Results map[string]string `json:"results,omitempty"`
+}
+
+func run(pass *analysis.Pass) error {
+	an := collect(pass)
+	inf := &inferencer{pass: pass, an: an, factFuncs: map[string]*funcUnits{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				inf.checkFuncDecl(d)
+			case *ast.GenDecl:
+				if d.Tok == token.VAR || d.Tok == token.CONST {
+					inf.checkPackageValues(d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CountDeclaredDims tallies how many declarations carry a unit in the
+// fact store, restricted to the given package paths (all packages when
+// none are given). A value fact counts one; a func fact counts one per
+// annotated parameter and result. The acceptance test for this analyzer
+// asserts a floor across rc, spice and elmore.
+func CountDeclaredDims(f *analysis.Facts, pkgs ...string) int {
+	if len(pkgs) == 0 {
+		pkgs = f.Packages()
+	}
+	type anyFact struct {
+		Unit    string            `json:"unit"`
+		Params  map[string]string `json:"params"`
+		Results map[string]string `json:"results"`
+	}
+	n := 0
+	for _, pkg := range pkgs {
+		for _, key := range f.PkgKeys(pkg) {
+			var af anyFact
+			if !f.Import(key, &af) {
+				continue
+			}
+			if af.Unit != "" {
+				n++
+			}
+			n += len(af.Params) + len(af.Results)
+		}
+	}
+	return n
+}

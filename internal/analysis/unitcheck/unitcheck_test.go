@@ -1,0 +1,37 @@
+package unitcheck_test
+
+import (
+	"io"
+	"testing"
+
+	"nontree/internal/analysis"
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	analysistest.Run(t, unitcheck.Analyzer, "a")
+}
+
+// TestRepositoryDimensionCoverage runs unitcheck over the whole module:
+// the tree must be clean, and the physics packages must actually carry
+// their contracts — at least 40 declarations with units across rc, spice
+// and elmore, so the analyzer has something to check.
+func TestRepositoryDimensionCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	facts := map[string]*analysis.Facts{}
+	diags, err := analysis.RunFacts(io.Discard, "", []*analysis.Analyzer{unitcheck.Analyzer}, facts, "nontree/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	n := unitcheck.CountDeclaredDims(facts[unitcheck.Analyzer.Name],
+		"nontree/internal/rc", "nontree/internal/spice", "nontree/internal/elmore")
+	if n < 40 {
+		t.Errorf("rc/spice/elmore declare %d dimensions, want >= 40", n)
+	}
+}

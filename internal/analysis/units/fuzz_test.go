@@ -1,0 +1,38 @@
+package units
+
+import "testing"
+
+// FuzzParseUnit exercises the unit-expression parser with arbitrary
+// input. Beyond not panicking, it checks the central invariant the
+// unitcheck diagnostics rely on: any successfully parsed expression
+// renders (String) to a form that re-parses to the identical Dim, so a
+// unit named in a finding can always be pasted back into an annotation.
+func FuzzParseUnit(f *testing.F) {
+	for _, seed := range []string{
+		"Ω", "Ω/µm", "F·µm⁻¹", "F/um", "H/µm", "fF", "aH", "s", "s^2",
+		"s⁻¹", "Hz", "rad", "1", "V", "J", "Ω·F", "10^-15·F", "kg·m²/s³",
+		"µm²", "Ohm/µm", "F^-2", "GHz", "ns", "", "//", "^", "⁻", "Ω^^2",
+		"Ω/", "×10⁻¹⁵", "mm", "ms", "Mm",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := Parse(s)
+		if err != nil {
+			return
+		}
+		rendered := d.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) = %+v, but its String %q does not parse: %v", s, d, rendered, err)
+		}
+		if back != d {
+			t.Fatalf("Parse(%q) = %+v, but String/Parse round-trips to %+v via %q", s, d, back, rendered)
+		}
+		// The algebra must be internally consistent for values reachable
+		// from parsing: d·d⁻¹ = scale-free dimensionless.
+		if inv := One.Div(d); !d.Mul(inv).IsOne() {
+			t.Fatalf("d·d⁻¹ != 1 for %+v", d)
+		}
+	})
+}

@@ -1,0 +1,322 @@
+// Package units implements the dimension algebra behind the unitcheck
+// analyzer: SI base-dimension vectors covering the derived units of the
+// circuit model (Ω, F, H, V, s, Hz, J, W) together with a parser for the
+// unit expressions that appear in //nontree:unit directives and in the
+// doc-comment conventions of the physics packages — "Ω/µm", "F·µm⁻¹",
+// "fF", "s^2".
+//
+// A Dim tracks, besides the four base-dimension exponents, a decimal
+// scale exponent so SI prefixes stay part of the unit: µm is 10⁻⁶·m and
+// fF is 10⁻¹⁵·F. Addition-compatibility therefore requires the same
+// dimension vector AND the same scale — adding a fF quantity to an F
+// quantity is a finding even though both are capacitances, which is
+// exactly the silent exponent slip (Table 1 stores fF/µm values in F/µm
+// fields) the analyzer exists to catch.
+//
+// The algebra makes the repository's load-bearing identities fall out
+// mechanically: Ω·F = s (an RC product is a time), H/Ω = s, Ω/µm · µm = Ω,
+// ½·F·V² = J.
+package units
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dim is a physical dimension: exponents over the SI base dimensions the
+// circuit model needs (length, mass, time, current) plus a decimal scale
+// exponent carrying SI prefixes. The zero value One is the dimensionless
+// unit.
+type Dim struct {
+	L int `json:"l,omitempty"` // length (metre)
+	M int `json:"m,omitempty"` // mass (kilogram)
+	T int `json:"t,omitempty"` // time (second)
+	I int `json:"i,omitempty"` // electric current (ampere)
+	// Scale is the decimal exponent contributed by SI prefixes:
+	// µm has Scale −6, fF has Scale −15, aH has Scale −18.
+	Scale int `json:"p,omitempty"`
+}
+
+// One is the dimensionless unit (pure numbers, radians, fractions).
+var One = Dim{}
+
+// IsOne reports whether d is dimensionless with no scale.
+func (d Dim) IsOne() bool { return d == One }
+
+// Mul returns the dimension of a product.
+func (d Dim) Mul(o Dim) Dim {
+	return Dim{L: d.L + o.L, M: d.M + o.M, T: d.T + o.T, I: d.I + o.I, Scale: d.Scale + o.Scale}
+}
+
+// Div returns the dimension of a quotient.
+func (d Dim) Div(o Dim) Dim {
+	return Dim{L: d.L - o.L, M: d.M - o.M, T: d.T - o.T, I: d.I - o.I, Scale: d.Scale - o.Scale}
+}
+
+// Pow returns the dimension raised to an integer power.
+func (d Dim) Pow(n int) Dim {
+	return Dim{L: d.L * n, M: d.M * n, T: d.T * n, I: d.I * n, Scale: d.Scale * n}
+}
+
+// Sqrt halves every exponent, used to push dimensions through math.Sqrt.
+// It reports false when any exponent is odd (the square root of such a
+// quantity has no dimension in this algebra).
+func (d Dim) Sqrt() (Dim, bool) {
+	if d.L%2 != 0 || d.M%2 != 0 || d.T%2 != 0 || d.I%2 != 0 || d.Scale%2 != 0 {
+		return Dim{}, false
+	}
+	return Dim{L: d.L / 2, M: d.M / 2, T: d.T / 2, I: d.I / 2, Scale: d.Scale / 2}, true
+}
+
+// SameDims reports whether d and o share the same base-dimension vector,
+// ignoring scale. When two quantities SameDims but are not equal, the
+// mismatch is a pure prefix slip (fF vs F) — the most dangerous kind,
+// since the code "looks right".
+func (d Dim) SameDims(o Dim) bool {
+	return d.L == o.L && d.M == o.M && d.T == o.T && d.I == o.I
+}
+
+// baseSymbols maps unit symbols to their dimensions. Coulomb is omitted
+// deliberately: a bare "C" in this repository always means capacitance
+// prose, never charge, and the parser refusing it avoids silent
+// misreadings. "10" is a pseudo-unit worth one decade of scale so that
+// canonical fallback strings ("10^-15·m^2·…") round-trip through Parse.
+var baseSymbols = map[string]Dim{
+	"1":   One,
+	"rad": One,
+	"Rad": One,
+	"10":  {Scale: 1},
+	"m":   {L: 1},
+	"g":   {M: 1, Scale: -3},
+	"kg":  {M: 1},
+	"s":   {T: 1},
+	"A":   {I: 1},
+	"V":   {L: 2, M: 1, T: -3, I: -1},
+	"Ω":   {L: 2, M: 1, T: -3, I: -2},
+	"Ohm": {L: 2, M: 1, T: -3, I: -2},
+	"ohm": {L: 2, M: 1, T: -3, I: -2},
+	"F":   {L: -2, M: -1, T: 4, I: 2},
+	"H":   {L: 2, M: 1, T: -2, I: -2},
+	"Hz":  {T: -1},
+	"J":   {L: 2, M: 1, T: -2},
+	"W":   {L: 2, M: 1, T: -3},
+}
+
+// prefixes maps SI prefix runes to their decimal exponents. Both the
+// micro sign U+00B5 and the Greek mu U+03BC are accepted (sources mix
+// them), as is the ASCII fallback 'u'.
+var prefixes = map[rune]int{
+	'a': -18, 'f': -15, 'p': -12, 'n': -9,
+	'µ': -6, 'μ': -6, 'u': -6,
+	'm': -3, 'k': 3, 'M': 6, 'G': 9,
+}
+
+// superscripts maps the Unicode superscript forms to ASCII for exponent
+// parsing: Ω·µm⁻¹ and Ω*µm^-1 are the same expression.
+var superscripts = map[rune]rune{
+	'⁰': '0', '¹': '1', '²': '2', '³': '3', '⁴': '4',
+	'⁵': '5', '⁶': '6', '⁷': '7', '⁸': '8', '⁹': '9',
+	'⁻': '-', '⁺': '+',
+}
+
+// Parse evaluates a unit expression: factors separated by '·', '⋅' or
+// '*' (product) and '/' (the factor that follows is divided), each factor
+// a unit symbol with optional SI prefix and optional integer exponent in
+// caret ("^-2") or superscript ("⁻²") form. "1" denotes the dimensionless
+// unit.
+func Parse(s string) (Dim, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Dim{}, errors.New("units: empty unit expression")
+	}
+	d := One
+	sign := 1
+	rest := s
+	for {
+		i := strings.IndexAny(rest, "·⋅*/")
+		var tok, sep string
+		if i < 0 {
+			tok, sep = rest, ""
+		} else {
+			tok = rest[:i]
+			_, w := splitRune(rest[i:])
+			sep, rest = rest[i:i+w], rest[i+w:]
+		}
+		f, err := parseFactor(strings.TrimSpace(tok))
+		if err != nil {
+			return Dim{}, fmt.Errorf("units: in %q: %w", s, err)
+		}
+		d = d.Mul(f.Pow(sign))
+		if i < 0 {
+			return d, nil
+		}
+		if sep == "/" {
+			sign = -1
+		} else {
+			sign = 1
+		}
+	}
+}
+
+// splitRune returns the first rune of s and its byte width.
+func splitRune(s string) (rune, int) {
+	for _, r := range s {
+		return r, len(string(r))
+	}
+	return 0, 0
+}
+
+// parseFactor parses one "<symbol><exponent?>" factor.
+func parseFactor(tok string) (Dim, error) {
+	if tok == "" {
+		return Dim{}, errors.New("empty factor")
+	}
+	// Split the symbol from a trailing exponent.
+	symEnd := len(tok)
+	for i, r := range tok {
+		if r == '^' || superscripts[r] != 0 {
+			symEnd = i
+			break
+		}
+	}
+	sym, expPart := tok[:symEnd], tok[symEnd:]
+	exp := 1
+	if expPart != "" {
+		var b strings.Builder
+		for _, r := range expPart {
+			switch {
+			case r == '^':
+				// separator only; must be leading
+				if b.Len() != 0 {
+					return Dim{}, fmt.Errorf("bad exponent %q", expPart)
+				}
+			case superscripts[r] != 0:
+				b.WriteRune(superscripts[r])
+			case r == '-' || r == '+' || (r >= '0' && r <= '9'):
+				b.WriteRune(r)
+			default:
+				return Dim{}, fmt.Errorf("bad exponent %q", expPart)
+			}
+		}
+		n, err := strconv.Atoi(b.String())
+		if err != nil {
+			return Dim{}, fmt.Errorf("bad exponent %q", expPart)
+		}
+		exp = n
+	}
+	base, err := resolveSymbol(sym)
+	if err != nil {
+		return Dim{}, err
+	}
+	return base.Pow(exp), nil
+}
+
+// resolveSymbol looks the symbol up whole first (so "m" is the metre, not
+// a dangling milli prefix), then as prefix+symbol ("fF", "µm", "ns").
+func resolveSymbol(sym string) (Dim, error) {
+	if sym == "" {
+		return Dim{}, errors.New("empty unit symbol")
+	}
+	if d, ok := baseSymbols[sym]; ok {
+		return d, nil
+	}
+	r, w := splitRune(sym)
+	if p, ok := prefixes[r]; ok && len(sym) > w {
+		// Only dimension-bearing symbols take prefixes: "f1", "k10" and
+		// "µrad" stay errors.
+		if base, ok := baseSymbols[sym[w:]]; ok && !base.SameDims(One) {
+			base.Scale += p
+			return base, nil
+		}
+	}
+	return Dim{}, fmt.Errorf("unknown unit %q", sym)
+}
+
+// MustParse is Parse for compile-time-known expressions; it panics on
+// error and exists for tables and tests.
+func MustParse(s string) Dim {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// displayNames maps dimensions back to idiomatic names for diagnostics.
+// Built once, earliest entry wins, so plain symbols beat prefixed ones
+// and those beat per-µm compounds.
+var displayNames = buildDisplayNames()
+
+func buildDisplayNames() map[Dim]string {
+	names := map[Dim]string{}
+	add := func(name string, d Dim) {
+		if _, ok := names[d]; !ok {
+			names[d] = name
+		}
+	}
+	syms := []string{"s", "m", "kg", "A", "V", "Ω", "F", "H", "Hz", "J", "W"}
+	// Plain symbols, then their squares (s² shows up as E[U²] in the
+	// delay-bound moments), then prefixed forms, then per-µm compounds.
+	for _, s := range syms {
+		add(s, baseSymbols[s])
+	}
+	add("s²", baseSymbols["s"].Pow(2))
+	prefixOrder := []struct {
+		p string
+		e int
+	}{{"f", -15}, {"a", -18}, {"p", -12}, {"n", -9}, {"µ", -6}, {"m", -3}, {"k", 3}, {"M", 6}, {"G", 9}}
+	for _, pre := range prefixOrder {
+		for _, s := range syms {
+			d := baseSymbols[s]
+			d.Scale += pre.e
+			add(pre.p+s, d)
+		}
+	}
+	um := MustParse("µm")
+	add("µm²", um.Pow(2))
+	for _, s := range syms {
+		add(s+"/µm", baseSymbols[s].Div(um))
+	}
+	for _, pre := range prefixOrder {
+		for _, s := range syms {
+			d := baseSymbols[s]
+			d.Scale += pre.e
+			add(pre.p+s+"/µm", d.Div(um))
+		}
+	}
+	return names
+}
+
+// String renders the dimension for diagnostics: an idiomatic name when
+// one exists ("Ω/µm", "fF", "s²"), otherwise a canonical product of base
+// units that Parse accepts, so every String round-trips.
+func (d Dim) String() string {
+	if d == One {
+		return "1"
+	}
+	if name, ok := displayNames[d]; ok {
+		return name
+	}
+	var parts []string
+	if d.Scale != 0 {
+		parts = append(parts, "10^"+strconv.Itoa(d.Scale))
+	}
+	for _, b := range []struct {
+		sym string
+		exp int
+	}{{"m", d.L}, {"kg", d.M}, {"s", d.T}, {"A", d.I}} {
+		switch {
+		case b.exp == 0:
+		case b.exp == 1:
+			parts = append(parts, b.sym)
+		default:
+			parts = append(parts, b.sym+"^"+strconv.Itoa(b.exp))
+		}
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, "·")
+}

@@ -1,0 +1,148 @@
+package units
+
+import "testing"
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Dim
+	}{
+		{"1", One},
+		{"rad", One},
+		{"Rad", One},
+		{"s", Dim{T: 1}},
+		{"m", Dim{L: 1}},
+		{"µm", Dim{L: 1, Scale: -6}},
+		{"μm", Dim{L: 1, Scale: -6}}, // Greek mu variant
+		{"um", Dim{L: 1, Scale: -6}},
+		{"Ω", Dim{L: 2, M: 1, T: -3, I: -2}},
+		{"Ohm", Dim{L: 2, M: 1, T: -3, I: -2}},
+		{"F", Dim{L: -2, M: -1, T: 4, I: 2}},
+		{"fF", Dim{L: -2, M: -1, T: 4, I: 2, Scale: -15}},
+		{"aH", Dim{L: 2, M: 1, T: -2, I: -2, Scale: -18}},
+		{"Hz", Dim{T: -1}},
+		{"ns", Dim{T: 1, Scale: -9}},
+		{"kg", Dim{M: 1}},
+		{"g", Dim{M: 1, Scale: -3}},
+		{"10", Dim{Scale: 1}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"Ω/µm", "Ω/µm"},
+		{"F·µm⁻¹", "F/µm"},
+		{"F*um^-1", "F/µm"},
+		{"H/µm", "H/µm"},
+		{"Ω·F", "s"},  // the RC identity
+		{"H/Ω", "s"},  // the L/R identity
+		{"F·V²", "J"}, // the switching-energy identity (up to ½)
+		{"V/Ω", "A"},
+		{"s^2", "s²"},
+		{"s⁻¹", "Hz"},
+		{"Ω/µm·µm", "Ω"},
+		{"10^-15·F", "fF"},
+		{"10⁻¹⁵·F", "fF"},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got.String(), c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "  ", "furlong", "C", "Q", "Ω//µm", "/µm", "Ω/", "Ω^x",
+		"1 = unit width", "n×n", "f1", "k10", "µrad", "Ω^", "seconds",
+	} {
+		if d, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", in, d)
+		}
+	}
+}
+
+func TestAlgebra(t *testing.T) {
+	ohm, f, s := MustParse("Ω"), MustParse("F"), MustParse("s")
+	if got := ohm.Mul(f); got != s {
+		t.Errorf("Ω·F = %v, want s", got)
+	}
+	if got := MustParse("H").Div(ohm); got != s {
+		t.Errorf("H/Ω = %v, want s", got)
+	}
+	if got := MustParse("Ω/µm").Mul(MustParse("µm")); got != ohm {
+		t.Errorf("Ω/µm · µm = %v, want Ω", got)
+	}
+	if got := s.Pow(2); got != MustParse("s²") {
+		t.Errorf("s² = %v", got)
+	}
+	if got, ok := MustParse("s²").Sqrt(); !ok || got != s {
+		t.Errorf("sqrt(s²) = %v, %v; want s, true", got, ok)
+	}
+	if _, ok := s.Sqrt(); ok {
+		t.Error("sqrt(s) should not have a dimension")
+	}
+	if _, ok := MustParse("fF").Sqrt(); ok {
+		t.Error("sqrt(fF) has odd scale and should not resolve")
+	}
+}
+
+func TestScaleDistinguishesPrefixes(t *testing.T) {
+	f, ff := MustParse("F"), MustParse("fF")
+	if f == ff {
+		t.Fatal("F and fF must differ")
+	}
+	if !f.SameDims(ff) {
+		t.Fatal("F and fF share dimensions, differing only in scale")
+	}
+	// The prefix-slip diagnostic depends on the two printing differently.
+	if f.String() == ff.String() {
+		t.Fatalf("F and fF must render differently, both are %q", f.String())
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Every Dim a parse can produce must render to a string that parses
+	// back to the same Dim — diagnostics always name reproducible units.
+	exprs := []string{
+		"Ω", "F/µm", "fF", "aH", "s", "Hz", "V", "J", "W", "s^2",
+		"Ω·F·Hz", "V²/Ω", "F·V", "kg·m²/s³", "10^7·s", "Ω^3", "F^-2",
+	}
+	for _, e := range exprs {
+		d := MustParse(e)
+		back, err := Parse(d.String())
+		if err != nil {
+			t.Errorf("Parse(%q).String() = %q does not re-parse: %v", e, d.String(), err)
+			continue
+		}
+		if back != d {
+			t.Errorf("round trip of %q: %+v → %q → %+v", e, d, d.String(), back)
+		}
+	}
+}
+
+func TestIsOne(t *testing.T) {
+	if !One.IsOne() || !MustParse("rad").IsOne() {
+		t.Error("rad and the zero Dim must be dimensionless")
+	}
+	if MustParse("10").IsOne() {
+		t.Error("a bare decade carries scale and is not One")
+	}
+}

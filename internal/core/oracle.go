@@ -39,6 +39,8 @@ type DelayOracle interface {
 	// SinkDelays returns a delay per topology node (indexed by node id;
 	// entries for non-sink nodes are implementation-defined). width gives
 	// per-edge wire widths; nil means unit width.
+	//
+	//nontree:unit return s
 	SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float64, error)
 	// Name identifies the oracle in reports.
 	Name() string
@@ -55,6 +57,8 @@ type ElmoreOracle struct {
 func (o *ElmoreOracle) Name() string { return "elmore" }
 
 // SinkDelays implements DelayOracle.
+//
+//nontree:unit return s
 func (o *ElmoreOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float64, error) {
 	l, err := rc.Lump(t, o.Params, width)
 	if err != nil {
@@ -76,6 +80,8 @@ type TwoPoleOracle struct {
 func (o *TwoPoleOracle) Name() string { return "twopole" }
 
 // SinkDelays implements DelayOracle.
+//
+//nontree:unit return s
 func (o *TwoPoleOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float64, error) {
 	l, err := rc.Lump(t, o.Params, width)
 	if err != nil {
@@ -101,6 +107,8 @@ type SpiceOracle struct {
 func (o *SpiceOracle) Name() string { return "spice" }
 
 // SinkDelays implements DelayOracle.
+//
+//nontree:unit return s
 func (o *SpiceOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float64, error) {
 	opts := o.Build
 	if width != nil {
@@ -129,6 +137,9 @@ func (o *SpiceOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float
 // Objective reduces per-sink delays to the scalar an algorithm minimizes.
 type Objective interface {
 	// Eval scores the delays of a topology with the given pin count.
+	//
+	//nontree:unit delays s
+	//nontree:unit return s
 	Eval(delays []float64, numPins int) (float64, error)
 	// Name identifies the objective in reports.
 	Name() string
@@ -141,6 +152,9 @@ type MaxDelayObjective struct{}
 func (MaxDelayObjective) Name() string { return "max-sink-delay" }
 
 // Eval implements Objective.
+//
+//nontree:unit delays s
+//nontree:unit return s
 func (MaxDelayObjective) Eval(delays []float64, numPins int) (float64, error) {
 	if numPins < 2 {
 		return 0, errors.New("core: objective needs at least one sink")
@@ -160,6 +174,9 @@ type WeightedDelayObjective struct {
 func (o *WeightedDelayObjective) Name() string { return "weighted-sink-delay" }
 
 // Eval implements Objective.
+//
+//nontree:unit delays s
+//nontree:unit return s
 func (o *WeightedDelayObjective) Eval(delays []float64, numPins int) (float64, error) {
 	return elmore.WeightedSinkDelay(delays, numPins, o.Alphas)
 }

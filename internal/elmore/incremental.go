@@ -35,10 +35,10 @@ type Incremental struct {
 	p    rc.Params
 
 	cond *Conductance
-	base []float64 // t = G⁻¹ c, the current delays
+	base []float64 //nontree:unit s
 
-	// colCache[k] = G⁻¹ e_k, lazily computed.
-	colCache [][]float64
+	// colCache[k] = G⁻¹ e_k, a transfer-resistance column, lazily computed.
+	colCache [][]float64 //nontree:unit Ω
 }
 
 // NewIncremental prepares incremental evaluation over the topology's
@@ -71,8 +71,11 @@ func NewIncremental(t *graph.Topology, p rc.Params) (*Incremental, error) {
 }
 
 // BaseDelays returns the delays of the unmodified topology.
+//
+//nontree:unit return s
 func (inc *Incremental) BaseDelays() []float64 { return inc.base }
 
+//nontree:unit return Ω
 func (inc *Incremental) column(k int) []float64 {
 	if inc.colCache[k] == nil {
 		e := make([]float64, inc.cond.size)
@@ -88,6 +91,8 @@ var ErrDegenerate = errors.New("elmore: candidate edge has zero length")
 // WithEdge returns the Elmore delay vector of the topology with candidate
 // edge e added (unit width), without mutating anything. O(n) after the
 // per-endpoint columns are cached.
+//
+//nontree:unit return s
 func (inc *Incremental) WithEdge(e graph.Edge) ([]float64, error) {
 	e = e.Canon()
 	length := inc.topo.EdgeLength(e)
@@ -129,6 +134,9 @@ func (inc *Incremental) WithEdge(e graph.Edge) ([]float64, error) {
 // BestAddition scans every absent edge and returns the one minimizing the
 // max sink delay, together with that delay. found is false when no edge
 // improves on the current maximum by more than minImprovement (relative).
+//
+//nontree:unit minImprovement 1
+//nontree:unit return1 s
 func (inc *Incremental) BestAddition(minImprovement float64) (best graph.Edge, bestDelay float64, found bool, err error) {
 	numPins := inc.topo.NumPins()
 	cur := MaxSinkDelay(inc.base, numPins)

@@ -150,8 +150,10 @@ func (t *Topology) AddSteinerNode(p geom.Point) int {
 	return len(t.points) - 1
 }
 
-// EdgeLength returns the Manhattan length of edge e (whether or not it is
-// present in the topology).
+// EdgeLength returns the Manhattan length of edge e, in µm (whether or
+// not it is present in the topology).
+//
+//nontree:unit return µm
 func (t *Topology) EdgeLength(e Edge) float64 {
 	return geom.Dist(t.points[e.U], t.points[e.V])
 }
@@ -245,6 +247,8 @@ func (t *Topology) Edges() []Edge {
 // metric of the paper's tables. Summation follows the canonical edge order
 // so the result is bit-for-bit reproducible across runs (map iteration
 // order would otherwise perturb the floating-point rounding).
+//
+//nontree:unit return µm
 func (t *Topology) Cost() float64 {
 	var sum float64
 	for _, e := range t.Edges() {

@@ -39,6 +39,17 @@ type Params struct {
 	Vdd float64
 }
 
+// SI scale factors, so Table 1's prefixed values appear verbatim in
+// Default. Both are untyped constants: 0.352*Femto is evaluated in
+// arbitrary precision and rounds once, bit-identical to writing
+// 0.352e-15.
+const (
+	// Femto is the SI femto prefix, 10⁻¹⁵.
+	Femto = 1e-15
+	// Atto is the SI atto prefix, 10⁻¹⁸.
+	Atto = 1e-18
+)
+
 // Default returns the paper's Table 1 parameter values: 100Ω driver,
 // 0.03Ω/µm, 0.352fF/µm, 492fH/µm, 15.3fF sink load, driven by a 1V step
 // (delay thresholds are relative, so the amplitude is immaterial).
@@ -46,9 +57,9 @@ func Default() Params {
 	return Params{
 		DriverResistance: 100,
 		WireResistance:   0.03,
-		WireCapacitance:  0.352e-15,
-		WireInductance:   492e-18,
-		SinkCapacitance:  15.3e-15,
+		WireCapacitance:  0.352 * Femto,
+		WireInductance:   492 * Atto,
+		SinkCapacitance:  15.3 * Femto,
 		Vdd:              1.0,
 	}
 }
@@ -75,6 +86,8 @@ func (p Params) Validate() error {
 // WidthFunc maps an edge to its wire width multiplier (1 = unit width).
 // Width w scales resistance by 1/w and capacitance by w, the standard
 // first-order wire-sizing model used by the paper's WSORG formulation.
+//
+//nontree:unit return 1
 type WidthFunc func(graph.Edge) float64
 
 // UnitWidth is the WidthFunc for uniform unit-width wires.
@@ -94,7 +107,7 @@ type BuildOpts struct {
 	Width WidthFunc
 }
 
-// DefaultMaxSegment is the default π-segment length in µm.
+// DefaultMaxSegment is the default π-segment length (µm).
 const DefaultMaxSegment = 500.0
 
 // CircuitMap ties a built circuit back to its topology: NodeOf[n] is the
@@ -265,8 +278,10 @@ func Lump(t *graph.Topology, p Params, width WidthFunc) (*Lumped, error) {
 	return l, nil
 }
 
-// TotalCap returns the network's total capacitance (the C_{n0} of the
-// paper's Eq. 1 when the topology is a tree).
+// TotalCap returns the network's total capacitance (F) — the C_{n0} of
+// the paper's Eq. 1 when the topology is a tree.
+//
+//nontree:unit return F
 func (l *Lumped) TotalCap() float64 {
 	var sum float64
 	for _, c := range l.NodeCap {
@@ -275,11 +290,13 @@ func (l *Lumped) TotalCap() float64 {
 	return sum
 }
 
-// SwitchingEnergy returns the dynamic energy dissipated per output
+// SwitchingEnergy returns the dynamic energy (J) dissipated per output
 // transition, E = ½·C_total·Vdd² — the power price of a routing. Extra
 // non-tree wires and wider wires both raise it; delay-driven routing is a
 // three-way delay/wire/energy tradeoff, and this makes the third axis
 // measurable.
+//
+//nontree:unit return J
 func SwitchingEnergy(t *graph.Topology, p Params, width WidthFunc) (float64, error) {
 	l, err := Lump(t, p, width)
 	if err != nil {

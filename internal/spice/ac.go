@@ -21,6 +21,8 @@ type ACPoint struct {
 	// FrequencyHz is the analysis frequency.
 	FrequencyHz float64
 	// Magnitude is |V(node)/V(source amplitude)|.
+	//
+	//nontree:unit 1
 	Magnitude float64
 	// PhaseRad is the response phase in radians.
 	PhaseRad float64
@@ -83,6 +85,10 @@ func ACResponse(c *Circuit, node int, freqsHz []float64) ([]ACPoint, error) {
 // Bandwidth3dB returns the frequency at which the node's response magnitude
 // first falls to 1/√2 of its DC value, found by bisection between fLo and
 // fHi (the response must be above the threshold at fLo and below at fHi).
+//
+//nontree:unit fLo Hz
+//nontree:unit fHi Hz
+//nontree:unit return Hz
 func Bandwidth3dB(c *Circuit, node int, fLo, fHi float64) (float64, error) {
 	if fLo <= 0 || fHi <= fLo {
 		return 0, fmt.Errorf("spice: bandwidth bracket [%g, %g] invalid", fLo, fHi)
@@ -130,6 +136,10 @@ func Bandwidth3dB(c *Circuit, node int, fLo, fHi float64) (float64, error) {
 
 // LogSpace returns n frequencies logarithmically spaced across
 // [fLo, fHi] — the standard AC sweep grid.
+//
+//nontree:unit fLo Hz
+//nontree:unit fHi Hz
+//nontree:unit return Hz
 func LogSpace(fLo, fHi float64, n int) []float64 {
 	if n < 2 || fLo <= 0 || fHi <= fLo {
 		return nil

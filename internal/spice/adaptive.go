@@ -15,17 +15,27 @@ import (
 // hold the estimate near Tolerance.
 type AdaptiveOpts struct {
 	// Stop is the end time (s).
+	//
+	//nontree:unit s
 	Stop float64
 	// InitialStep seeds the controller; zero picks Stop/1000.
+	//
+	//nontree:unit s
 	InitialStep float64
 	// MinStep floors the step (default Stop/10^7); the run fails if the
 	// controller wants to go below it, which signals an unstable circuit.
+	//
+	//nontree:unit s
 	MinStep float64
 	// MaxStep caps the step (default Stop/50) so threshold crossings are
 	// never straddled by a huge step.
+	//
+	//nontree:unit s
 	MaxStep float64
 	// Tolerance is the per-step LTE target in volts (default 1e-4·Vmax
 	// with Vmax estimated as 1; i.e. 100 µV).
+	//
+	//nontree:unit V
 	Tolerance float64
 	// Record retains waveform samples.
 	Record bool
@@ -200,6 +210,9 @@ func (s *trapStepper) factors(h float64) (*trapFactors, error) {
 
 // step advances from state x at time t by h, writing the result to out
 // (x is not modified).
+//
+//nontree:unit t s
+//nontree:unit h s
 func (s *trapStepper) step(x, out []float64, t, h float64) error {
 	f, err := s.factors(h)
 	if err != nil {

@@ -10,12 +10,18 @@ import (
 type MeasureOpts struct {
 	// ThresholdFraction is the fraction of each node's final value at which
 	// delay is measured; SPICE convention (and the paper's) is 50%.
+	//
+	//nontree:unit 1
 	ThresholdFraction float64
 	// InitialHorizon is the first simulation window tried, in seconds. If
 	// zero a heuristic based on the circuit's total RC product is used.
+	//
+	//nontree:unit s
 	InitialHorizon float64
 	// MaxHorizon caps the adaptive horizon doubling; if zero, 1024× the
 	// initial horizon.
+	//
+	//nontree:unit s
 	MaxHorizon float64
 	// StepsPerHorizon is the number of fixed timesteps across the horizon
 	// (default 2000, giving sub-0.1% delay resolution with interpolation).
@@ -44,6 +50,8 @@ var ErrNoCrossing = errors.New("spice: node never crossed its delay threshold")
 //
 // Final values are taken from a DC solve with sources at their settled
 // values, so thresholds are exact even when the transient window is short.
+//
+//nontree:unit return s
 func MeasureDelays(c *Circuit, watch []int, opts MeasureOpts) ([]float64, error) {
 	if len(watch) == 0 {
 		return nil, errors.New("spice: no nodes to measure")
@@ -115,6 +123,10 @@ func MeasureDelays(c *Circuit, watch []int, opts MeasureOpts) ([]float64, error)
 // adaptiveCrossings runs the LTE-controlled integrator with waveform
 // recording and extracts threshold crossings by linear interpolation over
 // the (non-uniform) samples.
+//
+//nontree:unit horizon s
+//nontree:unit levels V
+//nontree:unit return s
 func adaptiveCrossings(c *Circuit, horizon float64, watch []int, levels []float64) ([]float64, error) {
 	res, err := TransientAdaptive(c, AdaptiveOpts{Stop: horizon, Record: true})
 	if err != nil {
@@ -142,6 +154,9 @@ func adaptiveCrossings(c *Circuit, horizon float64, watch []int, levels []float6
 
 // MaxDelay returns the largest of the measured delays — the paper's
 // t(G) = max_i t(n_i) objective.
+//
+//nontree:unit delays s
+//nontree:unit return s
 func MaxDelay(delays []float64) float64 {
 	var worst float64
 	for _, d := range delays {
@@ -156,6 +171,8 @@ func MaxDelay(delays []float64) float64 {
 // circuit's aggregate time constants: (sum of resistances)·(sum of
 // capacitances) overestimates any single pole, and a small multiple of the
 // dominant time constant bounds the 50% crossing.
+//
+//nontree:unit return s
 func horizonEstimate(c *Circuit) float64 {
 	var rTot, cTot, lTot float64
 	for _, r := range c.resistors {

@@ -165,6 +165,9 @@ func OperatingPoint(c *Circuit) ([]float64, error) {
 // FinalValue computes the DC solution with all sources at their value as
 // t → ∞ (evaluated at the given large time), giving the settled voltages a
 // transient converges to — the reference for 50%-threshold delay.
+//
+//nontree:unit atTime s
+//nontree:unit return V
 func FinalValue(c *Circuit, atTime float64) ([]float64, error) {
 	sys, err := assemble(c)
 	if err != nil {

@@ -33,8 +33,12 @@ func (m Method) String() string {
 // TranOpts configures a transient run.
 type TranOpts struct {
 	// Step is the fixed timestep in seconds. Must be positive.
+	//
+	//nontree:unit s
 	Step float64
 	// Stop is the end time in seconds. Must exceed Step.
+	//
+	//nontree:unit s
 	Stop float64
 	// Method selects the integrator (default Trapezoidal).
 	Method Method
@@ -50,14 +54,22 @@ var ErrBadTranOpts = errors.New("spice: transient options require 0 < Step < Sto
 // TranResult holds a transient simulation's outcome.
 type TranResult struct {
 	// Times holds the sample instants (only when TranOpts.Record).
+	//
+	//nontree:unit s
 	Times []float64
 	// V[n] holds node n's waveform aligned with Times (only when Record).
+	//
+	//nontree:unit V
 	V [][]float64
 	// Final holds the node voltages at Stop time.
+	//
+	//nontree:unit V
 	Final []float64
 	// Crossings[n] is the first time node n's voltage crossed the threshold
 	// given to TransientThreshold, or a negative value if it never did.
 	// Populated only by TransientThreshold.
+	//
+	//nontree:unit s
 	Crossings []float64
 	// Steps is the number of timesteps executed.
 	Steps int
@@ -74,6 +86,8 @@ func Transient(c *Circuit, opts TranOpts) (*TranResult, error) {
 // detects, for each node in watch, the first time its voltage crosses the
 // given threshold (rising), using linear interpolation between steps.
 // The simulation still runs to opts.Stop so Final is meaningful.
+//
+//nontree:unit threshold V
 func TransientThreshold(c *Circuit, opts TranOpts, watch []int, threshold float64) (*TranResult, error) {
 	levels := make([]float64, len(watch))
 	for i := range levels {
@@ -83,6 +97,8 @@ func TransientThreshold(c *Circuit, opts TranOpts, watch []int, threshold float6
 }
 
 // TransientThresholds is TransientThreshold with a per-node threshold level.
+//
+//nontree:unit levels V
 func TransientThresholds(c *Circuit, opts TranOpts, watch []int, levels []float64) (*TranResult, error) {
 	if len(watch) != len(levels) {
 		return nil, errors.New("spice: watch nodes and threshold levels must align")
@@ -92,7 +108,7 @@ func TransientThresholds(c *Circuit, opts TranOpts, watch []int, levels []float6
 
 type thresholdWatch struct {
 	nodes  []int
-	levels []float64
+	levels []float64 //nontree:unit V
 }
 
 func transient(c *Circuit, opts TranOpts, watch *thresholdWatch) (*TranResult, error) {
