@@ -9,6 +9,7 @@
 //	nontree-bench -oracle spice            # the paper's SPICE-in-the-loop search
 //	nontree-bench -measure elmore          # skip transient measurement (fastest)
 //	nontree-bench -inductance              # RLC interconnect model
+//	nontree-bench -exp bench -out BENCH_PR4.json   # observability benchmark suite
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -29,7 +32,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nontree-bench: ")
+	// realMain keeps error handling defer-safe: log.Fatal here would skip
+	// the profile-flush defers registered after flag parsing.
+	if err := realMain(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func realMain() error {
 	var (
 		exp        = flag.String("exp", "all", "experiment: all, tables, figures, table2..table7, fig1, fig2, fig3, fig5, csorg, wsorg, timing, frontier")
 		trials     = flag.Int("trials", 50, "random nets per size (paper: 50)")
@@ -42,8 +52,41 @@ func main() {
 		workers    = flag.Int("workers", 1, "goroutines per greedy sweep (0 = one per CPU; results are identical either way)")
 		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of text tables")
 		svgDir     = flag.String("svgdir", "", "also write each figure stage as an SVG drawing into this directory")
+		outPath    = flag.String("out", "", "write JSON output to this file instead of stdout (implies -json)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *outPath != "" {
+		*jsonOut = true
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		// LIFO: the profile must stop (and flush) before the file closes.
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	cfg := expt.Default()
 	cfg.Trials = *trials
@@ -56,11 +99,15 @@ func main() {
 
 	parsed, err := parseSizes(*sizes)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg.Sizes = parsed
 	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
+		return err
+	}
+
+	if *exp == "bench" {
+		return runBench(cfg, *outPath)
 	}
 
 	if !*jsonOut {
@@ -68,9 +115,47 @@ func main() {
 			cfg.SearchOracle, cfg.MeasureWith, cfg.Trials, cfg.Sizes, cfg.Seed)
 	}
 
-	if err := run(cfg, *exp, *jsonOut, *svgDir); err != nil {
-		log.Fatal(err)
+	return run(cfg, *exp, *jsonOut, *svgDir, *outPath)
+}
+
+// runBench executes the observability benchmark suite and writes the
+// schema-stable report (the BENCH_PR4.json artifact) to outPath or stdout.
+func runBench(cfg expt.Config, outPath string) error {
+	report, err := expt.BenchSuite(cfg)
+	if err != nil {
+		return err
 	}
+	report.Environment = map[string]string{
+		"go_version": runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+	}
+	return writeJSON(outPath, report)
+}
+
+// writeJSON encodes v with stable indentation to path, or stdout when path
+// is empty.
+func writeJSON(path string, v any) error {
+	var out *os.File
+	if path == "" {
+		out = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return err
+	}
+	if path != "" {
+		return out.Close()
+	}
+	return nil
 }
 
 // jsonDocument is the machine-readable output of a -json run.
@@ -108,7 +193,7 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(cfg expt.Config, exp string, jsonOut bool, svgDir string) error {
+func run(cfg expt.Config, exp string, jsonOut bool, svgDir, outPath string) error {
 	tables := map[string]func(expt.Config) (*expt.Table, error){
 		"table2": expt.Table2, "table3": expt.Table3, "table4": expt.Table4,
 		"table5": expt.Table5, "table6": expt.Table6, "table7": expt.Table7,
@@ -130,9 +215,7 @@ func run(cfg expt.Config, exp string, jsonOut bool, svgDir string) error {
 		if !jsonOut {
 			return nil
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(doc)
+		return writeJSON(outPath, doc)
 	}
 
 	runTable := func(name string) error {

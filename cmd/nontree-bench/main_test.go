@@ -49,14 +49,14 @@ func TestParseSizes(t *testing.T) {
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	cfg := benchCfg()
-	if err := run(cfg, "bogus", false, ""); err == nil {
+	if err := run(cfg, "bogus", false, "", ""); err == nil {
 		t.Error("unknown experiment must error")
 	}
 }
 
 func TestRunSingleTableJSON(t *testing.T) {
 	cfg := benchCfg()
-	if err := run(cfg, "table6", true, ""); err != nil {
+	if err := run(cfg, "table6", true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -90,7 +90,7 @@ func silenced(t *testing.T, fn func() error) error {
 func TestRunFiguresWithSVGs(t *testing.T) {
 	cfg := benchCfg()
 	dir := t.TempDir()
-	if err := silenced(t, func() error { return run(cfg, "figures", false, dir) }); err != nil {
+	if err := silenced(t, func() error { return run(cfg, "figures", false, dir, "") }); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -109,10 +109,10 @@ func TestRunFiguresWithSVGs(t *testing.T) {
 
 func TestRunFrontierAndTiming(t *testing.T) {
 	cfg := benchCfg()
-	if err := silenced(t, func() error { return run(cfg, "frontier", false, "") }); err != nil {
+	if err := silenced(t, func() error { return run(cfg, "frontier", false, "", "") }); err != nil {
 		t.Fatal(err)
 	}
-	if err := silenced(t, func() error { return run(cfg, "timing", false, "") }); err != nil {
+	if err := silenced(t, func() error { return run(cfg, "timing", false, "", "") }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -122,7 +122,7 @@ func TestRunAllTablesQuick(t *testing.T) {
 		t.Skip("runs every table")
 	}
 	cfg := benchCfg()
-	if err := silenced(t, func() error { return run(cfg, "tables", false, "") }); err != nil {
+	if err := silenced(t, func() error { return run(cfg, "tables", false, "", "") }); err != nil {
 		t.Fatal(err)
 	}
 }

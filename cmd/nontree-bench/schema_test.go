@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"nontree/internal/expt"
+)
+
+// Schema regression against the committed artifact: every key path that
+// BENCH_PR4.json ever emitted must still be produced by a fresh bench run.
+// New keys may appear freely; a vanished key fails — that is the
+// schema-stability contract the CI bench-smoke job also enforces.
+
+// keyPaths collects every JSON object key path in v, with array elements
+// collapsed to "[]" and map-valued metric names collapsed to "*" under
+// "counters"/"histograms"/"buckets"/"environment"/"aggregates" so the
+// schema is about shape, not about which metrics or algorithms ran.
+func keyPaths(prefix string, v any, out map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		wild := false
+		switch base := lastSegment(prefix); base {
+		case "counters", "histograms", "buckets", "environment", "aggregates":
+			wild = true
+		}
+		for k, child := range x {
+			name := k
+			if wild {
+				name = "*"
+			}
+			p := prefix + "." + name
+			out[p] = true
+			keyPaths(p, child, out)
+		}
+	case []any:
+		for _, child := range x {
+			keyPaths(prefix+".[]", child, out)
+		}
+	}
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func loadPaths(t *testing.T, raw []byte) map[string]bool {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	paths := make(map[string]bool)
+	keyPaths("$", doc, paths)
+	return paths
+}
+
+func TestBenchSchemaMatchesCommittedArtifact(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR4.json"))
+	if err != nil {
+		t.Fatalf("reading committed artifact (regenerate with "+
+			"`go run ./cmd/nontree-bench -exp bench -trials 3 -out BENCH_PR4.json`): %v", err)
+	}
+	oldPaths := loadPaths(t, committed)
+
+	cfg := expt.Default()
+	cfg.Sizes = []int{5}
+	cfg.Trials = 1
+	cfg.MeasureWith = expt.OracleElmore
+	report, err := expt.BenchSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Environment = map[string]string{"go_version": "test"}
+	fresh, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPaths := loadPaths(t, fresh)
+
+	var missing []string
+	for p := range oldPaths {
+		if !newPaths[p] {
+			missing = append(missing, p)
+		}
+	}
+	sort.Strings(missing)
+	for _, p := range missing {
+		t.Errorf("schema regression: key path %s present in committed BENCH_PR4.json "+
+			"but absent from a fresh bench run", p)
+	}
+}
+
+// TestCommittedArtifactCoversAlgorithms pins the committed artifact's
+// content guarantees: all benchmark algorithms present, the declared
+// schema version, and the full metric-name catalog in every entry.
+func TestCommittedArtifactCoversAlgorithms(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report expt.BenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.SchemaVersion != expt.BenchSchemaVersion {
+		t.Errorf("committed artifact has schema_version %d, package declares %d",
+			report.SchemaVersion, expt.BenchSchemaVersion)
+	}
+	seen := make(map[string]bool)
+	for _, e := range report.Entries {
+		seen[e.Algorithm] = true
+	}
+	for _, name := range expt.BenchAlgorithms() {
+		if !seen[name] {
+			t.Errorf("committed artifact missing algorithm %q", name)
+		}
+	}
+	for _, name := range expt.BenchAlgorithms() {
+		if _, ok := report.Aggregates[name]; !ok {
+			t.Errorf("committed artifact missing aggregate for %q", name)
+		}
+	}
+}
+
+func TestRunBenchWritesReport(t *testing.T) {
+	cfg := expt.Default()
+	cfg.Sizes = []int{5}
+	cfg.Trials = 1
+	cfg.MeasureWith = expt.OracleElmore
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := runBench(cfg, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report expt.BenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Entries) == 0 {
+		t.Error("bench run produced no entries")
+	}
+	if report.Environment["go_version"] == "" {
+		t.Error("bench run did not stamp the environment")
+	}
+}

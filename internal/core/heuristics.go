@@ -6,6 +6,7 @@ import (
 
 	"nontree/internal/elmore"
 	"nontree/internal/graph"
+	"nontree/internal/obs"
 	"nontree/internal/rc"
 )
 
@@ -29,6 +30,7 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: H1 seed evaluation: %w", err)
 	}
 	res.Evaluations++
+	opts.obs().Add(obs.CtrOracleEvaluations, 1)
 	cur, err := obj.Eval(delays, t.NumPins())
 	if err != nil {
 		return nil, err
@@ -56,6 +58,7 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("core: H1 evaluating %v: %w", e, err)
 		}
 		res.Evaluations++
+		opts.obs().Add(obs.CtrOracleEvaluations, 1)
 		val, err := obj.Eval(newDelays, t.NumPins())
 		if err != nil {
 			return nil, err
@@ -69,6 +72,7 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 		}
 		res.AddedEdges = append(res.AddedEdges, e)
 		res.Trace = append(res.Trace, val)
+		opts.obs().Add(obs.CtrAcceptedEdges, 1)
 		cur = val
 		delays = newDelays
 	}
@@ -172,6 +176,7 @@ func elmoreSelectedAddition(seed *graph.Topology, params rc.Params, opts Options
 			}
 			res.AddedEdges = append(res.AddedEdges, e)
 			res.Trace = append(res.Trace, val)
+			opts.obs().Add(obs.CtrAcceptedEdges, 1)
 			cur = val
 		}
 	}

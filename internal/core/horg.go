@@ -73,6 +73,9 @@ func HORG(pins []geom.Point, alphas []float64, useSteiner bool, wsOpts WireSizeO
 	if wsOpts.Workers == 0 {
 		wsOpts.Workers = opts.Workers
 	}
+	if wsOpts.Obs == nil {
+		wsOpts.Obs = opts.Obs
+	}
 	sizing, err := WireSize(routing.Topology, wsOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: HORG sizing stage: %w", err)

@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"nontree/internal/graph"
+	"nontree/internal/obs"
 	"nontree/internal/rc"
 )
 
@@ -42,6 +43,11 @@ type Options struct {
 	// for concurrent SinkDelays calls when Workers != 1 (all oracles in
 	// this package are; see DelayOracle).
 	Workers int
+	// Obs receives counters and span timings from the run (nil = discard).
+	// Counters and histograms are deterministic for a fixed seed at any
+	// Workers value; wall-clock timings land in the recorder's Timings
+	// section, which the determinism guarantee excludes (DESIGN.md §10).
+	Obs obs.Recorder
 }
 
 func (o *Options) objective() Objective {
@@ -59,6 +65,8 @@ func (o *Options) minImprovement() float64 {
 }
 
 func (o *Options) workers() int { return workerCount(o.Workers) }
+
+func (o *Options) obs() obs.Recorder { return obs.OrNop(o.Obs) }
 
 // workerCount resolves a Workers knob: 0 = one per CPU, anything below 1 is
 // clamped to sequential.
@@ -137,6 +145,7 @@ func LDRG(seed *graph.Topology, opts Options) (*Result, error) {
 		}
 		res.AddedEdges = append(res.AddedEdges, bestEdge)
 		res.Trace = append(res.Trace, bestVal)
+		opts.obs().Add(obs.CtrAcceptedEdges, 1)
 		cur = bestVal
 	}
 
@@ -170,6 +179,12 @@ func candidateEdges(t *graph.Topology, opts *Options) []graph.Edge {
 // the sequential scan's selection rule so results are identical either way.
 func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, float64, bool, error) {
 	cands := candidateEdges(t, opts)
+	rec := opts.obs()
+	rec.Add(obs.CtrSweeps, 1)
+	rec.Add(obs.CtrSweepCandidates, int64(len(cands)))
+	rec.Observe(obs.HistSweepCandidates, float64(len(cands)))
+	sweep := obs.StartSpan(rec, obs.TimeSweep)
+	defer sweep.End()
 	if w := opts.workers(); w > 1 && len(cands) > 1 {
 		return bestAdditionParallel(t, opts, obj, cur, res, cands)
 	}
@@ -215,6 +230,7 @@ func score(t *graph.Topology, opts *Options, obj Objective, res *Result) (float6
 		return 0, err
 	}
 	res.Evaluations++
+	opts.obs().Add(obs.CtrOracleEvaluations, 1)
 	return val, nil
 }
 

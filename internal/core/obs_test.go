@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"nontree/internal/obs"
+	"nontree/internal/rc"
+)
+
+// Observability contract (DESIGN.md §10): the counters a run records must
+// agree exactly with the quantities the result structs already report, and
+// the preregistered catalog must make every metric present even when zero.
+
+func TestObsCountersMatchLDRGResult(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		topo := randomMST(t, 8100+seed, 12)
+		reg := obs.NewRegistry()
+		obs.Preregister(reg)
+		res, err := LDRG(topo, Options{
+			Oracle: &ElmoreOracle{Params: rc.Default(), Obs: reg},
+			Obs:    reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot()
+		c := snap.Counters
+
+		if got := c[obs.CtrOracleEvaluations]; got != int64(res.Evaluations) {
+			t.Errorf("seed %d: %s = %d, want Result.Evaluations = %d",
+				seed, obs.CtrOracleEvaluations, got, res.Evaluations)
+		}
+		if got := c[obs.CtrAcceptedEdges]; got != int64(len(res.AddedEdges)) {
+			t.Errorf("seed %d: %s = %d, want len(AddedEdges) = %d",
+				seed, obs.CtrAcceptedEdges, got, len(res.AddedEdges))
+		}
+		// The greedy loop runs one sweep per accepted edge plus the final
+		// sweep that finds nothing.
+		if got := c[obs.CtrSweeps]; got != int64(len(res.AddedEdges)+1) {
+			t.Errorf("seed %d: %s = %d, want %d sweeps",
+				seed, obs.CtrSweeps, got, len(res.AddedEdges)+1)
+		}
+		// Every Elmore oracle call is one graph solve; LDRG scores the seed
+		// once before sweeping, so solves == evaluations here.
+		if got := c[obs.CtrElmoreSolves]; got != int64(res.Evaluations) {
+			t.Errorf("seed %d: %s = %d, want %d solves",
+				seed, obs.CtrElmoreSolves, got, res.Evaluations)
+		}
+		// The per-sweep candidate histogram must agree with the counter.
+		h := snap.Histograms[obs.HistSweepCandidates]
+		if h.Count != c[obs.CtrSweeps] {
+			t.Errorf("seed %d: histogram count %d != sweeps %d", seed, h.Count, c[obs.CtrSweeps])
+		}
+		if int64(h.Sum) != c[obs.CtrSweepCandidates] {
+			t.Errorf("seed %d: histogram sum %g != candidate counter %d",
+				seed, h.Sum, c[obs.CtrSweepCandidates])
+		}
+	}
+}
+
+func TestObsCountersMatchWireSizeResult(t *testing.T) {
+	topo := randomMST(t, 8200, 10)
+	reg := obs.NewRegistry()
+	obs.Preregister(reg)
+	res, err := WireSize(topo, WireSizeOptions{
+		Oracle: &ElmoreOracle{Params: rc.Default(), Obs: reg},
+		Obs:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := reg.Snapshot().Counters
+	if got := c[obs.CtrOracleEvaluations]; got != int64(res.Evaluations) {
+		t.Errorf("%s = %d, want Result.Evaluations = %d",
+			obs.CtrOracleEvaluations, got, res.Evaluations)
+	}
+	if got := c[obs.CtrWidenings]; got != int64(res.Widenings) {
+		t.Errorf("%s = %d, want Widenings = %d", obs.CtrWidenings, got, res.Widenings)
+	}
+}
+
+// TestObsSpiceOracleRecordsSimulatorCounters drives the SPICE oracle once
+// and checks the simulator-side counters landed in the same registry the
+// oracle was handed.
+func TestObsSpiceOracleRecordsSimulatorCounters(t *testing.T) {
+	topo := randomMST(t, 8300, 5)
+	reg := obs.NewRegistry()
+	obs.Preregister(reg)
+	oracle := &SpiceOracle{Params: rc.Default(), Obs: reg}
+	if _, err := oracle.SinkDelays(topo, nil); err != nil {
+		t.Fatal(err)
+	}
+	c := reg.Snapshot().Counters
+	for _, name := range []string{
+		obs.CtrMeasureRuns,
+		obs.CtrMeasureDCSolves,
+		obs.CtrTranRuns,
+		obs.CtrTranSteps,
+		obs.CtrMNAFactorizations,
+		obs.CtrMNASolves,
+	} {
+		if c[name] == 0 {
+			t.Errorf("%s = 0 after a SPICE measurement; expected activity", name)
+		}
+	}
+	if c[obs.CtrMeasureRuns] != 1 {
+		t.Errorf("%s = %d, want exactly 1", obs.CtrMeasureRuns, c[obs.CtrMeasureRuns])
+	}
+}
+
+// TestObsNilRecorderIsFree: every instrumented entry point must accept a
+// nil recorder (the default) without panicking or changing results.
+func TestObsNilRecorderIsFree(t *testing.T) {
+	topo := randomMST(t, 8400, 8)
+	withObs, err := LDRG(topo, Options{Oracle: elmoreOracle(), Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := LDRG(topo, Options{Oracle: elmoreOracle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	//nontree:allow floatcmp instrumentation must not perturb results at all; any ULP difference is a bug
+	if withObs.FinalObjective != without.FinalObjective {
+		t.Errorf("recorder changed the objective: %x vs %x",
+			withObs.FinalObjective, without.FinalObjective)
+	}
+	if len(withObs.AddedEdges) != len(without.AddedEdges) {
+		t.Errorf("recorder changed accepted edges: %d vs %d",
+			len(withObs.AddedEdges), len(without.AddedEdges))
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"nontree/internal/elmore"
 	"nontree/internal/graph"
+	"nontree/internal/obs"
 	"nontree/internal/rc"
 	"nontree/internal/spice"
 )
@@ -51,6 +52,8 @@ type DelayOracle interface {
 // Safe for concurrent use.
 type ElmoreOracle struct {
 	Params rc.Params
+	// Obs counts the oracle's internal linear solves (nil = discard).
+	Obs obs.Recorder
 }
 
 // Name implements DelayOracle.
@@ -64,6 +67,7 @@ func (o *ElmoreOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]floa
 	if err != nil {
 		return nil, err
 	}
+	obs.OrNop(o.Obs).Add(obs.CtrElmoreSolves, 1)
 	return elmore.GraphDelays(t, l)
 }
 
@@ -74,6 +78,8 @@ func (o *ElmoreOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]floa
 // connected graphs. Safe for concurrent use.
 type TwoPoleOracle struct {
 	Params rc.Params
+	// Obs counts the oracle's internal linear solves (nil = discard).
+	Obs obs.Recorder
 }
 
 // Name implements DelayOracle.
@@ -87,6 +93,7 @@ func (o *TwoPoleOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]flo
 	if err != nil {
 		return nil, err
 	}
+	obs.OrNop(o.Obs).Add(obs.CtrElmoreSolves, 2) // first and second moment solves
 	return elmore.TwoPoleDelays(t, l)
 }
 
@@ -101,6 +108,10 @@ type SpiceOracle struct {
 	// Measure controls delay extraction; zero value selects
 	// spice.DefaultMeasureOpts.
 	Measure spice.MeasureOpts
+	// Obs receives the simulator's counters (MNA solves, transient steps,
+	// horizon retries, …); nil discards them. A recorder already set on
+	// Measure.Obs takes precedence.
+	Obs obs.Recorder
 }
 
 // Name implements DelayOracle.
@@ -122,6 +133,9 @@ func (o *SpiceOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float
 	//nontree:allow floatcmp zero is the exact zero-value sentinel for an unset config field, never a computed delay
 	if mo.ThresholdFraction == 0 {
 		mo = spice.DefaultMeasureOpts()
+	}
+	if mo.Obs == nil {
+		mo.Obs = o.Obs
 	}
 	crossings, err := spice.MeasureDelays(cm.Circuit, cm.SinkNodes, mo)
 	if err != nil {

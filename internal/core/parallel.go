@@ -30,6 +30,7 @@ import (
 
 	"nontree/internal/geom"
 	"nontree/internal/graph"
+	"nontree/internal/obs"
 )
 
 // sweepOutcome records one candidate's evaluation.
@@ -42,8 +43,9 @@ type sweepOutcome struct {
 // runSweep evaluates n candidates on a pool of goroutines. eval is called
 // with the candidate index and a worker-private clone of t; it must leave
 // the clone exactly as it found it (or return an error). On the first error
-// remaining candidates are skipped.
-func runSweep(t *graph.Topology, workers, n int, eval func(i int, clone *graph.Topology) (float64, error)) ([]sweepOutcome, int) {
+// remaining candidates are skipped. rec receives one wall-clock span per
+// worker goroutine (a Timings metric — excluded from determinism).
+func runSweep(t *graph.Topology, workers, n int, rec obs.Recorder, eval func(i int, clone *graph.Topology) (float64, error)) ([]sweepOutcome, int) {
 	outcomes := make([]sweepOutcome, n)
 	if workers > n {
 		workers = n
@@ -55,6 +57,8 @@ func runSweep(t *graph.Topology, workers, n int, eval func(i int, clone *graph.T
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			span := obs.StartSpan(rec, obs.TimeSweepWorker)
+			defer span.End()
 			clone := t.Clone()
 			var localEvals int64
 			defer func() { evals.Add(localEvals) }()
@@ -105,7 +109,7 @@ func reduceSweep(outcomes []sweepOutcome, cur, threshold float64) (int, float64,
 // bestAdditionParallel is the worker-pool form of bestAddition: identical
 // selection, candidates partitioned across opts.workers() goroutines.
 func bestAdditionParallel(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, cands []graph.Edge) (graph.Edge, float64, bool, error) {
-	outcomes, evals := runSweep(t, opts.workers(), len(cands), func(i int, clone *graph.Topology) (float64, error) {
+	outcomes, evals := runSweep(t, opts.workers(), len(cands), opts.obs(), func(i int, clone *graph.Topology) (float64, error) {
 		e := cands[i]
 		if err := clone.AddEdge(e); err != nil {
 			return 0, fmt.Errorf("core: trying edge %v: %w", e, err)
@@ -121,6 +125,7 @@ func bestAdditionParallel(t *graph.Topology, opts *Options, obj Objective, cur f
 		return val, nil
 	})
 	res.Evaluations += evals
+	opts.obs().Add(obs.CtrOracleEvaluations, int64(evals))
 	best, bestVal, err := reduceSweep(outcomes, cur, cur*(1-opts.minImprovement()))
 	if err != nil {
 		return graph.Edge{}, 0, false, err
@@ -141,10 +146,11 @@ type tapCandidate struct {
 // each split to a fresh clone and leaves the worker's base clone untouched,
 // so every candidate's circuit is exactly "current topology + this tap".
 func bestTapParallel(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, cands []tapCandidate) (graph.Edge, geom.Point, float64, bool, error) {
-	outcomes, evals := runSweep(t, opts.workers(), len(cands), func(i int, clone *graph.Topology) (float64, error) {
+	outcomes, evals := runSweep(t, opts.workers(), len(cands), opts.obs(), func(i int, clone *graph.Topology) (float64, error) {
 		return scoreTapped(clone, opts, obj, cands[i].edge, cands[i].point)
 	})
 	res.Evaluations += evals
+	opts.obs().Add(obs.CtrOracleEvaluations, int64(evals))
 	best, bestVal, err := reduceSweep(outcomes, cur, cur*(1-opts.minImprovement()))
 	if err != nil {
 		return graph.Edge{}, geom.Point{}, 0, false, err

@@ -6,6 +6,7 @@ import (
 
 	"nontree/internal/geom"
 	"nontree/internal/graph"
+	"nontree/internal/obs"
 )
 
 // LDRGWithTaps generalizes the LDRG greedy loop toward the paper's full
@@ -57,6 +58,8 @@ func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
 			}
 			res.AddedEdges = append(res.AddedEdges, added)
 			res.Trace = append(res.Trace, tapVal)
+			opts.obs().Add(obs.CtrAcceptedEdges, 1)
+			opts.obs().Add(obs.CtrTapsAccepted, 1)
 			cur = tapVal
 		case foundEdge:
 			if err := t.AddEdge(bestEdge); err != nil {
@@ -64,6 +67,7 @@ func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
 			}
 			res.AddedEdges = append(res.AddedEdges, bestEdge)
 			res.Trace = append(res.Trace, bestVal)
+			opts.obs().Add(obs.CtrAcceptedEdges, 1)
 			cur = bestVal
 		default:
 			res.FinalObjective = cur
@@ -114,6 +118,7 @@ func tapCandidates(t *graph.Topology) []tapCandidate {
 // With Workers != 1 the sweep fans out over the worker pool (parallel.go).
 func bestTap(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, geom.Point, float64, bool, error) {
 	cands := tapCandidates(t)
+	opts.obs().Add(obs.CtrTapCandidates, int64(len(cands)))
 	if w := opts.workers(); w > 1 && len(cands) > 1 {
 		return bestTapParallel(t, opts, obj, cur, res, cands)
 	}

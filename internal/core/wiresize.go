@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nontree/internal/graph"
+	"nontree/internal/obs"
 	"nontree/internal/rc"
 )
 
@@ -30,6 +31,9 @@ type WireSizeOptions struct {
 	// sweeps, results are byte-identical for any value; the oracle must
 	// be safe for concurrent SinkDelays calls when Workers != 1.
 	Workers int
+	// Obs receives counters and span timings (nil = discard); same
+	// determinism contract as Options.Obs.
+	Obs obs.Recorder
 }
 
 // WireSizeResult reports a WSORG run.
@@ -94,6 +98,7 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 	}
 	res := &WireSizeResult{Widths: widths}
 	widthFn := func(e graph.Edge) float64 { return float64(widths[e.Canon()]) }
+	rec := obs.OrNop(opts.Obs)
 
 	eval := func() (float64, error) {
 		delays, err := opts.Oracle.SinkDelays(t, widthFn)
@@ -101,6 +106,7 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 			return 0, err
 		}
 		res.Evaluations++
+		rec.Add(obs.CtrOracleEvaluations, 1)
 		return obj.Eval(delays, t.NumPins())
 	}
 
@@ -119,13 +125,15 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 			}
 		}
 
+		rec.Add(obs.CtrWidenCandidates, int64(len(cands)))
+
 		// The candidate objectives, aligned with cands. The widths map is
 		// read-only during a sweep, so with Workers != 1 each candidate is
 		// scored concurrently under an overlay width function instead of
 		// the sequential bump-eval-revert on the shared map.
 		vals := make([]float64, len(cands))
 		if workers := workerCount(opts.Workers); workers > 1 && len(cands) > 1 {
-			outcomes, evals := runSweep(t, workers, len(cands), func(i int, clone *graph.Topology) (float64, error) {
+			outcomes, evals := runSweep(t, workers, len(cands), rec, func(i int, clone *graph.Topology) (float64, error) {
 				e := cands[i]
 				overlay := func(x graph.Edge) float64 {
 					w := widths[x.Canon()]
@@ -141,6 +149,7 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 				return obj.Eval(delays, clone.NumPins())
 			})
 			res.Evaluations += evals
+			rec.Add(obs.CtrOracleEvaluations, int64(evals))
 			for i := range outcomes {
 				if outcomes[i].err != nil {
 					return nil, outcomes[i].err
@@ -185,6 +194,7 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 		}
 		widths[bestEdge]++
 		res.Widenings++
+		rec.Add(obs.CtrWidenings, 1)
 		cur = bestVal
 	}
 

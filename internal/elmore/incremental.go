@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nontree/internal/graph"
+	"nontree/internal/obs"
 	"nontree/internal/rc"
 )
 
@@ -39,6 +40,11 @@ type Incremental struct {
 
 	// colCache[k] = G⁻¹ e_k, a transfer-resistance column, lazily computed.
 	colCache [][]float64 //nontree:unit Ω
+
+	// Obs counts candidate evaluations and column-cache hits/misses when
+	// set (nil = discard). Like the evaluator itself it is used from a
+	// single goroutine.
+	Obs obs.Recorder
 }
 
 // NewIncremental prepares incremental evaluation over the topology's
@@ -81,6 +87,9 @@ func (inc *Incremental) column(k int) []float64 {
 		e := make([]float64, inc.cond.size)
 		e[k] = 1
 		inc.colCache[k] = inc.cond.lu.Solve(e)
+		obs.OrNop(inc.Obs).Add(obs.CtrIncrementalMisses, 1)
+	} else {
+		obs.OrNop(inc.Obs).Add(obs.CtrIncrementalHits, 1)
 	}
 	return inc.colCache[k]
 }
@@ -94,6 +103,7 @@ var ErrDegenerate = errors.New("elmore: candidate edge has zero length")
 //
 //nontree:unit return s
 func (inc *Incremental) WithEdge(e graph.Edge) ([]float64, error) {
+	obs.OrNop(inc.Obs).Add(obs.CtrIncrementalEvals, 1)
 	e = e.Canon()
 	length := inc.topo.EdgeLength(e)
 	//nontree:allow floatcmp Manhattan length of coincident points is exactly 0.0; degeneracy sentinel guarding the 1/length conductance below

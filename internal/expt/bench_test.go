@@ -1,0 +1,220 @@
+package expt
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+
+	"nontree/internal/obs"
+)
+
+func benchConfig() Config {
+	cfg := Default()
+	cfg.Sizes = []int{5, 8}
+	cfg.Trials = 2
+	cfg.MeasureWith = OracleElmore
+	return cfg
+}
+
+func TestBenchSuiteCoversAllAlgorithms(t *testing.T) {
+	report, err := BenchSuite(benchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"ldrg": false, "sldrg": false, "h1": false, "h2": false,
+		"h3": false, "csorg": false, "wsorg": false,
+	}
+	for _, e := range report.Entries {
+		if _, ok := want[e.Algorithm]; !ok {
+			t.Errorf("unexpected algorithm %q in report", e.Algorithm)
+		}
+		want[e.Algorithm] = true
+		if !e.valid() {
+			t.Errorf("%s/%d/%d: NaN ratio in entry", e.Algorithm, e.Size, e.Trial)
+		}
+		if e.OracleEvaluations <= 0 {
+			t.Errorf("%s/%d/%d: no oracle evaluations recorded", e.Algorithm, e.Size, e.Trial)
+		}
+		if e.Counters[obs.CtrOracleEvaluations] != int64(e.OracleEvaluations) {
+			t.Errorf("%s/%d/%d: counter %d disagrees with result field %d",
+				e.Algorithm, e.Size, e.Trial,
+				e.Counters[obs.CtrOracleEvaluations], e.OracleEvaluations)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("algorithm %q missing from report", name)
+		}
+	}
+	if got, wantN := len(report.Entries), len(want)*len(benchConfig().Sizes)*benchConfig().Trials; got != wantN {
+		t.Errorf("got %d entries, want %d", got, wantN)
+	}
+	for name, agg := range report.Aggregates {
+		if agg.Entries == 0 {
+			t.Errorf("aggregate %q has zero entries", name)
+		}
+	}
+}
+
+// TestBenchFingerprintWorkersInvariant is the headline determinism
+// assertion of DESIGN.md §10: the full report fingerprint — every delay,
+// cost, and obs counter across all algorithms — is byte-identical for
+// Workers ∈ {1, 4, GOMAXPROCS}.
+func TestBenchFingerprintWorkersInvariant(t *testing.T) {
+	//nontree:allow nondetsource the test asserts results do NOT depend on this value
+	maxprocs := runtime.GOMAXPROCS(0)
+	var ref string
+	for _, w := range []int{1, 4, maxprocs} {
+		cfg := benchConfig()
+		cfg.Workers = w
+		report, err := BenchSuite(cfg)
+		if err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		fp := report.Fingerprint()
+		if ref == "" {
+			ref = fp
+			continue
+		}
+		if fp != ref {
+			t.Errorf("fingerprint differs at workers=%d:\n%s\nvs reference:\n%s", w, fp, ref)
+		}
+	}
+}
+
+// TestBenchFingerprintWorkersInvariantSpiceMeasure repeats the invariant
+// with the transient simulator in the measurement path, so the spice.*
+// counters are exercised too. Kept small: one size, one trial.
+func TestBenchFingerprintWorkersInvariantSpiceMeasure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator bench in short mode")
+	}
+	var ref string
+	for _, w := range []int{1, 4} {
+		cfg := benchConfig()
+		cfg.Sizes = []int{6}
+		cfg.Trials = 1
+		cfg.MeasureWith = OracleSpice
+		cfg.Workers = w
+		report, err := BenchSuite(cfg)
+		if err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		spiceActive := false
+		for _, e := range report.Entries {
+			if e.Counters[obs.CtrTranRuns] > 0 {
+				spiceActive = true
+			}
+		}
+		if !spiceActive {
+			t.Fatal("no transient runs recorded despite SPICE measurement")
+		}
+		fp := report.Fingerprint()
+		if ref == "" {
+			ref = fp
+			continue
+		}
+		if fp != ref {
+			t.Errorf("spice-measure fingerprint differs at workers=%d", w)
+		}
+	}
+}
+
+// TestBenchConcurrentSnapshotRaceStress runs the suite with per-sweep
+// parallelism while a goroutine hammers Snapshot/Fingerprint on the shared
+// union recorder — the scenario the -race CI step guards: recording and
+// snapshotting must be safe concurrently.
+func TestBenchConcurrentSnapshotRaceStress(t *testing.T) {
+	shared := obs.NewRegistry()
+	obs.Preregister(shared)
+	cfg := benchConfig()
+	cfg.Workers = 4
+	cfg.Obs = shared
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = shared.Snapshot().Fingerprint()
+			}
+		}
+	}()
+
+	report, err := BenchSuite(cfg)
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The shared registry saw the union of all entries: its counter totals
+	// must equal the sum over per-entry registries.
+	sums := map[string]int64{}
+	for _, e := range report.Entries {
+		for name, v := range e.Counters {
+			sums[name] += v
+		}
+	}
+	final := shared.Snapshot().Counters
+	for name, want := range sums {
+		if final[name] != want {
+			t.Errorf("shared counter %s = %d, want union %d", name, final[name], want)
+		}
+	}
+}
+
+// TestBenchReportJSONSchemaStable pins the top-level and entry-level JSON
+// key sets: a key that disappears breaks downstream consumers, and the CI
+// schema check compares against the committed BENCH_PR4.json artifact.
+func TestBenchReportJSONSchemaStable(t *testing.T) {
+	cfg := benchConfig()
+	cfg.Sizes = []int{5}
+	cfg.Trials = 1
+	report, err := BenchSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema_version", "config", "entries", "aggregates"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("top-level key %q missing from report JSON", key)
+		}
+	}
+	var entries []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["entries"], &entries); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"algorithm", "size", "trial", "net_seed", "workers",
+		"seed_delay_s", "final_delay_s", "delay_ratio",
+		"seed_wirelength_um", "final_wirelength_um", "cost_ratio",
+		"accepted", "oracle_evaluations", "wall_seconds",
+		"counters", "histograms",
+	} {
+		if _, ok := entries[0][key]; !ok {
+			t.Errorf("entry key %q missing from report JSON", key)
+		}
+	}
+	// Preregistration freezes the metric catalog: every entry exposes the
+	// full counter and histogram name sets regardless of code path.
+	keys := report.MetricKeys()
+	wantKeys := len(obs.CounterNames()) + len(obs.HistogramNames())
+	if len(keys) != wantKeys {
+		t.Errorf("metric key union has %d names, want the full catalog of %d", len(keys), wantKeys)
+	}
+}

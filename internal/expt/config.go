@@ -12,6 +12,7 @@ import (
 	"nontree/internal/core"
 	"nontree/internal/graph"
 	"nontree/internal/netlist"
+	"nontree/internal/obs"
 	"nontree/internal/rc"
 	"nontree/internal/spice"
 )
@@ -53,6 +54,10 @@ type Config struct {
 	// across trials, so per-sweep workers mainly help SPICE-oracle runs
 	// where a single net dominates wall clock.
 	Workers int
+	// Obs receives counters from the algorithms and oracles the harness
+	// runs (nil = discard). Deterministic sections of the recorder are
+	// byte-identical for fixed Seed at any Workers value.
+	Obs obs.Recorder
 }
 
 // Default returns the paper's experimental configuration with the Elmore
@@ -111,11 +116,12 @@ func (c *Config) searchOracle() core.DelayOracle {
 		return &core.SpiceOracle{
 			Params: c.Params,
 			Build:  c.buildOpts(),
+			Obs:    c.Obs,
 		}
 	case OracleTwoPole:
-		return &core.TwoPoleOracle{Params: c.Params}
+		return &core.TwoPoleOracle{Params: c.Params, Obs: c.Obs}
 	default:
-		return &core.ElmoreOracle{Params: c.Params}
+		return &core.ElmoreOracle{Params: c.Params, Obs: c.Obs}
 	}
 }
 
@@ -130,18 +136,25 @@ func (c *Config) buildOpts() rc.BuildOpts {
 func (c *Config) measureOracle() core.DelayOracle {
 	switch c.MeasureWith {
 	case OracleElmore:
-		return &core.ElmoreOracle{Params: c.Params}
+		return &core.ElmoreOracle{Params: c.Params, Obs: c.Obs}
 	case OracleTwoPole:
-		return &core.TwoPoleOracle{Params: c.Params}
+		return &core.TwoPoleOracle{Params: c.Params, Obs: c.Obs}
 	default:
-		return &core.SpiceOracle{Params: c.Params, Build: c.buildOpts(), Measure: spice.DefaultMeasureOpts()}
+		return &core.SpiceOracle{Params: c.Params, Build: c.buildOpts(), Measure: spice.DefaultMeasureOpts(), Obs: c.Obs}
 	}
 }
 
 // Measure returns the simulator-measured maximum sink delay and the
 // wirelength cost of a topology — the two quantities every table reports.
 func (c *Config) Measure(t *graph.Topology) (delay, cost float64, err error) {
-	delays, err := c.measureOracle().SinkDelays(t, nil)
+	return c.measureWidth(t, nil)
+}
+
+// measureWidth is Measure under an explicit width assignment (nil = unit
+// widths); the cost is the plain wirelength either way — wire-sizing
+// reports metal area separately.
+func (c *Config) measureWidth(t *graph.Topology, width rc.WidthFunc) (delay, cost float64, err error) {
+	delays, err := c.measureOracle().SinkDelays(t, width)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -169,5 +182,6 @@ func (c *Config) ldrgOptions(maxEdges int) core.Options {
 		Oracle:        c.searchOracle(),
 		MaxAddedEdges: maxEdges,
 		Workers:       c.Workers,
+		Obs:           c.Obs,
 	}
 }

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"unicode/utf8"
+
+	"nontree/internal/geom"
 )
 
 // FuzzReadText checks that the text parser never panics and that any net it
@@ -39,6 +42,80 @@ func FuzzReadText(f *testing.F) {
 			t.Fatalf("round trip changed pin count %d → %d", net.NumPins(), back.NumPins())
 		}
 	})
+}
+
+// FuzzNetRoundTrip drives the serializers from the value side: construct a
+// net from fuzzed coordinates and name, and require that anything Validate
+// accepts survives a text AND a JSON round trip with every coordinate
+// bit-exact (%g and encoding/json both emit shortest-uniquely-parsing
+// float forms, so exactness is the contract, not a tolerance).
+func FuzzNetRoundTrip(f *testing.F) {
+	f.Add("demo", 0.0, 0.0, 10.0, 20.0, -5.5, 3000.0)
+	f.Add("", 1e-300, 2e300, 0.1, 0.2, 0.30000000000000004, 4.0)
+	f.Add("x", 0.0, 0.0, 0.0, 0.0, 1.0, 1.0)
+
+	f.Fuzz(func(t *testing.T, name string, x0, y0, x1, y1, x2, y2 float64) {
+		n := &Net{Name: name, Pins: []geom.Point{{X: x0, Y: y0}, {X: x1, Y: y1}, {X: x2, Y: y2}}}
+		if n.Validate() != nil {
+			return // non-finite or duplicate pins; nothing to round-trip
+		}
+
+		check := func(format string, back *Net, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s round trip rejected a valid net: %v", format, err)
+			}
+			if back.NumPins() != n.NumPins() {
+				t.Fatalf("%s round trip changed pin count %d → %d", format, n.NumPins(), back.NumPins())
+			}
+			for i := range n.Pins {
+				if back.Pins[i] != n.Pins[i] {
+					t.Fatalf("%s round trip changed pin %d: %v → %v", format, i, n.Pins[i], back.Pins[i])
+				}
+			}
+		}
+
+		var jb bytes.Buffer
+		if err := n.WriteJSON(&jb); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		back, err := ReadJSON(&jb)
+		check("JSON", back, err)
+		// encoding/json coerces invalid UTF-8 to U+FFFD, so name fidelity
+		// is only promised for valid strings.
+		if err == nil && utf8.ValidString(n.Name) && back.Name != n.Name {
+			t.Fatalf("JSON round trip changed name %q → %q", n.Name, back.Name)
+		}
+
+		// The text format stores the name as a single whitespace-delimited
+		// token on its own line, so only names that survive that encoding
+		// can be compared; coordinates must round-trip regardless.
+		var tb bytes.Buffer
+		if err := n.WriteText(&tb); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		back, err = ReadText(&tb)
+		if err != nil {
+			// Names containing newlines or "#"-leading segments can corrupt
+			// the line format; the parser must reject, never panic or
+			// misparse. Anything token-clean must parse.
+			if isTokenClean(name) {
+				t.Fatalf("text round trip rejected a valid net with clean name %q: %v", name, err)
+			}
+			return
+		}
+		check("text", back, nil)
+		if isTokenClean(name) && back.Name != name {
+			t.Fatalf("text round trip changed name %q → %q", name, back.Name)
+		}
+	})
+}
+
+// isTokenClean reports whether the text format can represent the name
+// faithfully: one whitespace-free token that the parser won't strip.
+func isTokenClean(name string) bool {
+	fields := strings.Fields(name)
+	return len(fields) == 1 && fields[0] == name && !strings.HasPrefix(name, "#")
 }
 
 // FuzzReadJSON checks the JSON path likewise.

@@ -1,0 +1,138 @@
+package obs
+
+// Canonical metric names. Instrumented code always refers to these
+// constants, so the catalog below is complete by construction; the
+// benchmark harness preregisters all of them, which freezes the snapshot
+// key set independently of which code paths a particular run exercises
+// (the schema-stability guarantee of BENCH_*.json).
+//
+// Naming convention: <package>.<subsystem>.<quantity>, snake_case leaves.
+// DESIGN.md §10 documents the exact meaning and determinism status of each.
+const (
+	// --- package core: greedy sweeps ---
+
+	// CtrOracleEvaluations counts DelayOracle.SinkDelays invocations — the
+	// dominant cost of every algorithm (equals Result.Evaluations).
+	CtrOracleEvaluations = "core.oracle.evaluations"
+	// CtrSweeps counts greedy sweeps (one per algorithm iteration).
+	CtrSweeps = "core.sweep.sweeps"
+	// CtrSweepCandidates counts candidate edges offered to sweeps.
+	CtrSweepCandidates = "core.sweep.candidates"
+	// CtrAcceptedEdges counts accepted topology modifications (edges, taps).
+	CtrAcceptedEdges = "core.sweep.accepted"
+	// CtrTapCandidates counts mid-edge tap candidates evaluated.
+	CtrTapCandidates = "core.taps.candidates"
+	// CtrTapsAccepted counts accepted taps (subset of CtrAcceptedEdges).
+	CtrTapsAccepted = "core.taps.accepted"
+	// CtrWidenCandidates counts WSORG widening candidates evaluated.
+	CtrWidenCandidates = "core.wiresize.candidates"
+	// CtrWidenings counts accepted WSORG width increments.
+	CtrWidenings = "core.wiresize.widenings"
+
+	// --- package elmore: incremental (Sherman–Morrison) evaluator ---
+
+	// CtrIncrementalEvals counts WithEdge candidate evaluations.
+	CtrIncrementalEvals = "elmore.incremental.evaluations"
+	// CtrIncrementalHits counts transfer-resistance column cache hits.
+	CtrIncrementalHits = "elmore.incremental.cache_hits"
+	// CtrIncrementalMisses counts column cache misses (triangular solves).
+	CtrIncrementalMisses = "elmore.incremental.cache_misses"
+	// CtrElmoreSolves counts linear-system solves made by the Elmore and
+	// two-pole oracles (one per Elmore evaluation, two per two-pole).
+	CtrElmoreSolves = "elmore.graph.solves"
+
+	// --- package spice: MNA transient simulator ---
+
+	// CtrMNAFactorizations counts LU factorizations of MNA matrices.
+	CtrMNAFactorizations = "spice.mna.factorizations"
+	// CtrMNASolves counts triangular back-substitutions (one per timestep,
+	// three per adaptive step attempt).
+	CtrMNASolves = "spice.mna.solves"
+	// CtrTranRuns counts fixed-step transient analyses.
+	CtrTranRuns = "spice.tran.runs"
+	// CtrTranSteps counts fixed-step timesteps executed.
+	CtrTranSteps = "spice.tran.steps"
+	// CtrTranEarlyExits counts transients that stopped before Stop because
+	// every watched node had crossed its threshold.
+	CtrTranEarlyExits = "spice.tran.early_exits"
+	// CtrAdaptiveSteps counts accepted adaptive (LTE-controlled) steps.
+	CtrAdaptiveSteps = "spice.adaptive.steps"
+	// CtrAdaptiveRejections counts adaptive step rejections (LTE > tol).
+	CtrAdaptiveRejections = "spice.adaptive.rejections"
+	// CtrAdaptiveRefactor counts adaptive-stepper factorization-cache
+	// misses (each one is a fresh LU factorization).
+	CtrAdaptiveRefactor = "spice.adaptive.refactorizations"
+	// CtrMeasureRuns counts MeasureDelays invocations.
+	CtrMeasureRuns = "spice.measure.runs"
+	// CtrMeasureRetries counts horizon-quadrupling retries inside
+	// MeasureDelays (a node had not crossed within the window).
+	CtrMeasureRetries = "spice.measure.horizon_retries"
+	// CtrMeasureDCSolves counts the DC final-value solves MeasureDelays
+	// performs to fix threshold levels.
+	CtrMeasureDCSolves = "spice.measure.dc_solves"
+)
+
+// Histogram names (deterministic sections — integer-valued samples only).
+const (
+	// HistSweepCandidates is the per-sweep candidate count distribution.
+	HistSweepCandidates = "core.sweep.candidates_per_sweep"
+	// HistTranSteps is the per-transient step-count distribution.
+	HistTranSteps = "spice.tran.steps_per_run"
+	// HistAdaptiveSteps is the per-adaptive-run accepted-step distribution.
+	HistAdaptiveSteps = "spice.adaptive.steps_per_run"
+)
+
+// Wall-clock timing names (Timings section — excluded from determinism).
+const (
+	// TimeSweep spans one full greedy sweep (candidate generation through
+	// reduction).
+	TimeSweep = "core.sweep.seconds"
+	// TimeSweepWorker spans one worker goroutine's share of a sweep.
+	TimeSweepWorker = "core.sweep.worker.seconds"
+)
+
+// CounterNames returns the full counter catalog.
+func CounterNames() []string {
+	return []string{
+		CtrOracleEvaluations,
+		CtrSweeps,
+		CtrSweepCandidates,
+		CtrAcceptedEdges,
+		CtrTapCandidates,
+		CtrTapsAccepted,
+		CtrWidenCandidates,
+		CtrWidenings,
+		CtrIncrementalEvals,
+		CtrIncrementalHits,
+		CtrIncrementalMisses,
+		CtrElmoreSolves,
+		CtrMNAFactorizations,
+		CtrMNASolves,
+		CtrTranRuns,
+		CtrTranSteps,
+		CtrTranEarlyExits,
+		CtrAdaptiveSteps,
+		CtrAdaptiveRejections,
+		CtrAdaptiveRefactor,
+		CtrMeasureRuns,
+		CtrMeasureRetries,
+		CtrMeasureDCSolves,
+	}
+}
+
+// HistogramNames returns the deterministic histogram catalog.
+func HistogramNames() []string {
+	return []string{HistSweepCandidates, HistTranSteps, HistAdaptiveSteps}
+}
+
+// Preregister creates every cataloged counter (at zero) and histogram
+// (empty) in the registry, freezing the snapshot key set regardless of
+// which code paths the following run takes.
+func Preregister(g *Registry) {
+	for _, name := range CounterNames() {
+		g.Add(name, 0)
+	}
+	for _, name := range HistogramNames() {
+		g.Declare(name)
+	}
+}

@@ -1,0 +1,91 @@
+// Package obs is the repository's zero-dependency observability layer:
+// counters, histograms and wall-clock span timers threaded through the hot
+// paths of the routing algorithms (package core), the incremental Elmore
+// evaluator (package elmore) and the transient simulator (package spice).
+//
+// The layer is built around one contract that makes it usable as a test
+// oracle (DESIGN.md §10):
+//
+//   - Counters and histograms record *deterministic* quantities — candidate
+//     counts, oracle invocations, cache hits, solver steps. For a fixed
+//     seed they are byte-identical at any Options.Workers value, because
+//     every increment is either issued from the deterministic reduction
+//     path or is an order-independent sum of per-worker contributions.
+//   - Wall-clock durations (span timers) are inherently nondeterministic
+//     and are kept in a separate Timings section that every determinism
+//     comparison excludes. No algorithm decision may ever read them.
+//
+// Instrumented packages observe only the Recorder interface; the one place
+// that reads the clock is span.go in this package, which keeps the
+// nondetsource analyzer's no-wall-clock guarantee for algorithm packages
+// intact.
+//
+// Histogram sums are exact (and therefore order-independent) as long as
+// the observed samples are integer-valued, which every deterministic
+// sample in this repository is (step counts, candidate counts). Fractional
+// samples are only ever recorded into Timings.
+package obs
+
+// Recorder receives metric events from instrumented code. Implementations
+// must be safe for concurrent use: the parallel candidate sweeps record
+// from many goroutines at once. The no-op Nop is the default everywhere a
+// recorder is optional.
+type Recorder interface {
+	// Add increments the named counter by delta (delta 0 registers the
+	// counter so it appears in snapshots even when never hit).
+	Add(name string, delta int64)
+	// Observe records one sample into the named histogram.
+	Observe(name string, value float64)
+	// ObserveDuration records one wall-clock span duration in seconds.
+	// Durations live in the Timings section of a snapshot and are excluded
+	// from every determinism guarantee.
+	ObserveDuration(name string, seconds float64)
+}
+
+// Nop is the no-op Recorder used when observability is not requested.
+// The zero value is ready to use.
+type Nop struct{}
+
+// Add implements Recorder.
+func (Nop) Add(string, int64) {}
+
+// Observe implements Recorder.
+func (Nop) Observe(string, float64) {}
+
+// ObserveDuration implements Recorder.
+func (Nop) ObserveDuration(string, float64) {}
+
+// OrNop returns r, or Nop when r is nil — the resolution helper every
+// instrumented option struct uses.
+func OrNop(r Recorder) Recorder {
+	if r == nil {
+		return Nop{}
+	}
+	return r
+}
+
+// Multi fans every event out to all listed recorders. Useful when a run
+// needs both a per-entry registry (benchmark accounting) and a shared one
+// (live snapshots).
+type Multi []Recorder
+
+// Add implements Recorder.
+func (m Multi) Add(name string, delta int64) {
+	for _, r := range m {
+		r.Add(name, delta)
+	}
+}
+
+// Observe implements Recorder.
+func (m Multi) Observe(name string, value float64) {
+	for _, r := range m {
+		r.Observe(name, value)
+	}
+}
+
+// ObserveDuration implements Recorder.
+func (m Multi) ObserveDuration(name string, seconds float64) {
+	for _, r := range m {
+		r.ObserveDuration(name, seconds)
+	}
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	g := NewRegistry()
+	g.Add("a", 3)
+	g.Add("a", 4)
+	g.Add("b", 0) // registration only
+	s := g.Snapshot()
+	if s.Counters["a"] != 7 {
+		t.Errorf("counter a = %d, want 7", s.Counters["a"])
+	}
+	if v, ok := s.Counters["b"]; !ok || v != 0 {
+		t.Errorf("counter b = %d,%v; want registered at 0", v, ok)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	g := NewRegistry()
+	for _, v := range []float64{4, 1, 9, 2} {
+		g.Observe("h", v)
+	}
+	h := g.Snapshot().Histograms["h"]
+	if h.Count != 4 || h.Sum != 16 || h.Min != 1 || h.Max != 9 {
+		t.Errorf("histogram = %+v, want count 4 sum 16 min 1 max 9", h)
+	}
+	var total int64
+	for _, n := range h.Buckets {
+		total += n
+	}
+	if total != h.Count {
+		t.Errorf("bucket tallies sum to %d, want %d", total, h.Count)
+	}
+}
+
+func TestDeclareEmptyHistogram(t *testing.T) {
+	g := NewRegistry()
+	g.Declare("empty")
+	h, ok := g.Snapshot().Histograms["empty"]
+	if !ok {
+		t.Fatal("declared histogram missing from snapshot")
+	}
+	if h.Count != 0 || h.Min != 0 || h.Max != 0 || h.Sum != 0 {
+		t.Errorf("empty histogram = %+v, want all zero", h)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {-3, 0}, {math.NaN(), 0},
+		{1, 32}, {1.5, 32}, {2, 33}, {1024, 42},
+		{0.5, 31}, {1e-300, 0}, {1e300, numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestFingerprintDeterministic asserts fingerprints depend only on the
+// recorded values, not on insertion or scheduling order.
+func TestFingerprintDeterministic(t *testing.T) {
+	build := func(order []int) string {
+		g := NewRegistry()
+		for _, i := range order {
+			g.Add("c1", int64(i))
+			g.Observe("h1", float64(i))
+			g.ObserveDuration("t1", float64(i)) // must not affect fingerprint
+		}
+		return g.Snapshot().Fingerprint()
+	}
+	a := build([]int{1, 2, 3, 4})
+	b := build([]int{4, 3, 2, 1})
+	if a != b {
+		t.Errorf("fingerprints differ across observation order:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" {
+		t.Error("fingerprint empty")
+	}
+}
+
+func TestDeterministicDropsTimings(t *testing.T) {
+	g := NewRegistry()
+	g.ObserveDuration("t", 0.5)
+	g.Add("c", 1)
+	d := g.Snapshot().Deterministic()
+	if d.Timings != nil {
+		t.Error("Deterministic() kept the Timings section")
+	}
+	if d.Counters["c"] != 1 {
+		t.Error("Deterministic() lost counters")
+	}
+}
+
+func TestMultiFanOut(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	var r Recorder = Multi{a, b, Nop{}}
+	r.Add("c", 2)
+	r.Observe("h", 1)
+	r.ObserveDuration("t", 1)
+	for i, g := range []*Registry{a, b} {
+		s := g.Snapshot()
+		if s.Counters["c"] != 2 || s.Histograms["h"].Count != 1 || s.Timings["t"].Count != 1 {
+			t.Errorf("registry %d missed fan-out: %+v", i, s)
+		}
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if _, ok := OrNop(nil).(Nop); !ok {
+		t.Error("OrNop(nil) is not Nop")
+	}
+	g := NewRegistry()
+	if OrNop(g) != Recorder(g) {
+		t.Error("OrNop(r) did not pass r through")
+	}
+}
+
+func TestSpanAgainstNop(t *testing.T) {
+	// Must not read the clock or panic.
+	s := StartSpan(nil, "x")
+	s.End()
+	s = StartSpan(Nop{}, "x")
+	s.End()
+	g := NewRegistry()
+	sp := StartSpan(g, "span")
+	sp.End()
+	snap := g.Snapshot()
+	if snap.Timings["span"].Count != 1 {
+		t.Errorf("span not recorded: %+v", snap.Timings)
+	}
+	if snap.Timings["span"].Min < 0 {
+		t.Errorf("negative span duration %g", snap.Timings["span"].Min)
+	}
+}
+
+func TestPreregisterFreezesKeySet(t *testing.T) {
+	g := NewRegistry()
+	Preregister(g)
+	s := g.Snapshot()
+	for _, name := range CounterNames() {
+		if _, ok := s.Counters[name]; !ok {
+			t.Errorf("counter %s missing after Preregister", name)
+		}
+	}
+	for _, name := range HistogramNames() {
+		if _, ok := s.Histograms[name]; !ok {
+			t.Errorf("histogram %s missing after Preregister", name)
+		}
+	}
+	if len(s.Counters) != len(CounterNames()) {
+		t.Errorf("%d counters after Preregister, catalog has %d", len(s.Counters), len(CounterNames()))
+	}
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	g := NewRegistry()
+	Preregister(g)
+	g.Add(CtrSweeps, 5)
+	g.Observe(HistSweepCandidates, 12)
+	a, err := json.Marshal(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("snapshot JSON encoding unstable across calls")
+	}
+}
+
+// TestConcurrentRecordingDeterministic hammers one registry from many
+// goroutines and asserts the deterministic sections land on the exact
+// expected totals — the order-independence the worker-pool sweeps rely on.
+// Under -race this doubles as the metrics layer's data-race proof.
+func TestConcurrentRecordingDeterministic(t *testing.T) {
+	const workers = 8
+	const perWorker = 2000
+	g := NewRegistry()
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() { // concurrent snapshots while recording
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = g.Snapshot().Fingerprint()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add("ctr", 1)
+				g.Observe("hist", float64(i%7))
+				g.ObserveDuration("dur", 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	s := g.Snapshot()
+	if s.Counters["ctr"] != workers*perWorker {
+		t.Errorf("counter = %d, want %d", s.Counters["ctr"], workers*perWorker)
+	}
+	h := s.Histograms["hist"]
+	if h.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	// Integer-valued samples sum exactly regardless of interleaving.
+	wantSum := float64(workers) * float64(perWorker/7*(0+1+2+3+4+5+6)+0+1+2+3+4) // 2000 = 285*7 + 5 tail samples
+	if h.Sum != wantSum {
+		t.Errorf("histogram sum = %g, want %g", h.Sum, wantSum)
+	}
+	if h.Min != 0 || h.Max != 6 {
+		t.Errorf("histogram min/max = %g/%g, want 0/6", h.Min, h.Max)
+	}
+}

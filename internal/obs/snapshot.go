@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	// Count is the number of samples.
+	Count int64 `json:"count"`
+	// Sum is the total of all samples (exact for integer-valued samples).
+	Sum float64 `json:"sum"`
+	// Min and Max bracket the samples; both are 0 when Count is 0.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Buckets tallies samples per power-of-two range: key i counts samples
+	// v with 2^(i−32) ≤ v < 2^(i−31). Empty buckets are omitted.
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// Summary returns the snapshot without its bucket detail — the stable
+// shape the benchmark entries embed.
+func (h HistogramSnapshot) Summary() HistogramSnapshot {
+	h.Buckets = nil
+	return h
+}
+
+// Snapshot is a registry's frozen state. Counters and Histograms are
+// deterministic for fixed seeds at any worker count; Timings hold
+// wall-clock spans and are excluded from every determinism comparison.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Timings    map[string]HistogramSnapshot `json:"timings,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. It is safe to call while
+// other goroutines are still recording; each metric is read atomically
+// (the snapshot is per-metric consistent, not globally so).
+func (g *Registry) Snapshot() Snapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := Snapshot{Counters: make(map[string]int64, len(g.counters))}
+	for name, c := range g.counters {
+		s.Counters[name] = c.Load()
+	}
+	if len(g.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(g.hists))
+		for name, h := range g.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	if len(g.timings) > 0 {
+		s.Timings = make(map[string]HistogramSnapshot, len(g.timings))
+		for name, h := range g.timings {
+			s.Timings[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+		Min:   math.Float64frombits(h.minBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = 0, 0
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]int64)
+			}
+			s.Buckets[i] = n
+		}
+	}
+	return s
+}
+
+// Deterministic returns the snapshot with the Timings section dropped —
+// exactly the part of the state the determinism guarantee covers.
+func (s Snapshot) Deterministic() Snapshot {
+	s.Timings = nil
+	return s
+}
+
+// Fingerprint renders the deterministic part of the snapshot as canonical
+// sorted text. Two runs with identical counters and histograms produce
+// byte-identical fingerprints, so tests compare runs with a single string
+// equality. Floats are rendered as exact hex literals — a fingerprint
+// match is a bitwise match, not an approximate one.
+func (s Snapshot) Fingerprint() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "counter %s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "hist %s count=%d sum=%x min=%x max=%x buckets=", name, h.Count, h.Sum, h.Min, h.Max)
+		idx := make([]int, 0, len(h.Buckets))
+		for i := range h.Buckets {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		for _, i := range idx {
+			fmt.Fprintf(&b, "%d:%d,", i, h.Buckets[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

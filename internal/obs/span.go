@@ -1,0 +1,46 @@
+package obs
+
+import "time"
+
+// This file is the only place in the instrumented call graph that reads
+// the wall clock. Algorithm packages (core, elmore, spice, expt) are
+// forbidden from calling time.Now directly by the nondetsource analyzer;
+// they start spans and stopwatches through these helpers instead, and the
+// resulting durations land exclusively in the Timings section that every
+// determinism comparison ignores.
+
+// Span measures one wall-clock interval. The zero value is inert.
+type Span struct {
+	r     Recorder
+	name  string
+	start time.Time
+}
+
+// StartSpan begins timing a named span against r. When r is nil or the
+// no-op recorder, no clock is read and End does nothing.
+func StartSpan(r Recorder, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	if _, nop := r.(Nop); nop {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// End records the span's duration in seconds under its name.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.ObserveDuration(s.name, time.Since(s.start).Seconds())
+}
+
+// Stopwatch returns a function reporting the seconds elapsed since the
+// call — for harness code that reports wall time in result fields rather
+// than through a Recorder. The value must only ever feed reporting, never
+// an algorithmic decision.
+func Stopwatch() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}

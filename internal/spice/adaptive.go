@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"nontree/internal/linalg"
+	"nontree/internal/obs"
 )
 
 // AdaptiveOpts configures local-truncation-error-controlled transient
@@ -39,6 +40,9 @@ type AdaptiveOpts struct {
 	Tolerance float64
 	// Record retains waveform samples.
 	Record bool
+	// Obs counts accepted steps, rejections, refactorizations and solves
+	// (nil = discard). Deterministic for fixed circuit and options.
+	Obs obs.Recorder
 }
 
 // ErrStepUnderflow indicates the controller could not meet tolerance above
@@ -74,7 +78,8 @@ func TransientAdaptive(c *Circuit, opts AdaptiveOpts) (*TranResult, error) {
 		tol = 1e-4
 	}
 
-	stepper := newTrapStepper(sys)
+	rec := obs.OrNop(opts.Obs)
+	stepper := newTrapStepper(sys, rec)
 
 	x := make([]float64, sys.size)
 	t := 0.0
@@ -126,6 +131,7 @@ func TransientAdaptive(c *Circuit, opts AdaptiveOpts) (*TranResult, error) {
 
 		if lte > tol && h > minStep {
 			// Reject: shrink (classic PI-free controller with safety 0.9).
+			rec.Add(obs.CtrAdaptiveRejections, 1)
 			shrink := 0.9 * math.Sqrt(tol/math.Max(lte, 1e-300))
 			if shrink < 0.1 {
 				shrink = 0.1
@@ -156,6 +162,8 @@ func TransientAdaptive(c *Circuit, opts AdaptiveOpts) (*TranResult, error) {
 		final[n] = x[n-1]
 	}
 	res.Final = final
+	rec.Add(obs.CtrAdaptiveSteps, int64(res.Steps))
+	rec.Observe(obs.HistAdaptiveSteps, float64(res.Steps))
 	return res, nil
 }
 
@@ -165,6 +173,7 @@ type trapStepper struct {
 	sys       *mnaSystem
 	cache     map[float64]*trapFactors
 	algebraic []bool
+	rec       obs.Recorder
 	// scratch
 	rhs, bPrev, bNext []float64
 }
@@ -174,11 +183,12 @@ type trapFactors struct {
 	histC *linalg.Matrix // 2C/h − G
 }
 
-func newTrapStepper(sys *mnaSystem) *trapStepper {
+func newTrapStepper(sys *mnaSystem, rec obs.Recorder) *trapStepper {
 	return &trapStepper{
 		sys:       sys,
 		cache:     make(map[float64]*trapFactors),
 		algebraic: sys.algebraicRows(),
+		rec:       obs.OrNop(rec),
 		rhs:       make([]float64, sys.size),
 		bPrev:     make([]float64, sys.size),
 		bNext:     make([]float64, sys.size),
@@ -195,6 +205,8 @@ func (s *trapStepper) factors(h float64) (*trapFactors, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spice: adaptive factorization at h=%g: %w", h, err)
 	}
+	s.rec.Add(obs.CtrAdaptiveRefactor, 1)
+	s.rec.Add(obs.CtrMNAFactorizations, 1)
 	hist := linalg.NewMatrix(s.sys.size, s.sys.size)
 	hist.AddScaled(s.sys.c, 2/h)
 	hist.AddScaled(s.sys.g, -1)
@@ -231,6 +243,7 @@ func (s *trapStepper) step(x, out []float64, t, h float64) error {
 		s.rhs[i] = hist[i] + s.bPrev[i] + s.bNext[i]
 	}
 	f.lu.SolveInPlace(s.rhs)
+	s.rec.Add(obs.CtrMNASolves, 1)
 	copy(out, s.rhs)
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"nontree/internal/obs"
 )
 
 // MeasureOpts configures threshold-delay extraction.
@@ -32,6 +34,11 @@ type MeasureOpts struct {
 	// StepsPerHorizon and Method are then ignored. Slower per run but
 	// robust to widely spread time constants.
 	Adaptive bool
+	// Obs receives the measurement's counters — runs, DC solves, horizon
+	// retries, and the underlying integrator's step/solve/factorization
+	// counts (nil = discard). All counters are deterministic functions of
+	// the circuit and options (DESIGN.md §10).
+	Obs obs.Recorder
 }
 
 // DefaultMeasureOpts returns the options used throughout the experiment
@@ -63,11 +70,14 @@ func MeasureDelays(c *Circuit, watch []int, opts MeasureOpts) ([]float64, error)
 	if steps <= 0 {
 		steps = 2000
 	}
+	rec := obs.OrNop(opts.Obs)
+	rec.Add(obs.CtrMeasureRuns, 1)
 
 	final, err := FinalValue(c, math.MaxFloat64)
 	if err != nil {
 		return nil, err
 	}
+	rec.Add(obs.CtrMeasureDCSolves, 1)
 	levels := make([]float64, len(watch))
 	for i, n := range watch {
 		if final[n] <= 0 {
@@ -88,13 +98,14 @@ func MeasureDelays(c *Circuit, watch []int, opts MeasureOpts) ([]float64, error)
 	for {
 		var crossings []float64
 		if opts.Adaptive {
-			crossings, err = adaptiveCrossings(c, horizon, watch, levels)
+			crossings, err = adaptiveCrossings(c, horizon, watch, levels, opts.Obs)
 		} else {
 			var res *TranResult
 			res, err = TransientThresholds(c, TranOpts{
 				Step:   horizon / float64(steps),
 				Stop:   horizon,
 				Method: opts.Method,
+				Obs:    opts.Obs,
 			}, watch, levels)
 			if err == nil {
 				crossings = res.Crossings
@@ -117,6 +128,7 @@ func MeasureDelays(c *Circuit, watch []int, opts MeasureOpts) ([]float64, error)
 			return nil, fmt.Errorf("%w within %g s", ErrNoCrossing, horizon)
 		}
 		horizon *= 4
+		rec.Add(obs.CtrMeasureRetries, 1)
 	}
 }
 
@@ -127,8 +139,8 @@ func MeasureDelays(c *Circuit, watch []int, opts MeasureOpts) ([]float64, error)
 //nontree:unit horizon s
 //nontree:unit levels V
 //nontree:unit return s
-func adaptiveCrossings(c *Circuit, horizon float64, watch []int, levels []float64) ([]float64, error) {
-	res, err := TransientAdaptive(c, AdaptiveOpts{Stop: horizon, Record: true})
+func adaptiveCrossings(c *Circuit, horizon float64, watch []int, levels []float64, rec obs.Recorder) ([]float64, error) {
+	res, err := TransientAdaptive(c, AdaptiveOpts{Stop: horizon, Record: true, Obs: rec})
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nontree/internal/linalg"
+	"nontree/internal/obs"
 )
 
 // Method selects the implicit integration scheme for transient analysis.
@@ -46,6 +47,9 @@ type TranOpts struct {
 	// running state needed for threshold detection is kept, which matters
 	// inside LDRG's candidate-evaluation loop.
 	Record bool
+	// Obs counts runs, steps, factorizations, solves and early exits
+	// (nil = discard). Deterministic for fixed circuit and options.
+	Obs obs.Recorder
 }
 
 // ErrBadTranOpts reports invalid transient options.
@@ -119,6 +123,7 @@ func transient(c *Circuit, opts TranOpts, watch *thresholdWatch) (*TranResult, e
 	if err != nil {
 		return nil, err
 	}
+	rec := obs.OrNop(opts.Obs)
 	h := opts.Step
 
 	// Build the iteration matrix once; with a fixed step it never changes.
@@ -143,6 +148,7 @@ func transient(c *Circuit, opts TranOpts, watch *thresholdWatch) (*TranResult, e
 	if err != nil {
 		return nil, fmt.Errorf("spice: transient matrix is singular (floating node?): %w", err)
 	}
+	rec.Add(obs.CtrMNAFactorizations, 1)
 
 	// SPICE practice: take the very first step with Backward Euler. The
 	// t=0 source discontinuity makes the zero initial state inconsistent,
@@ -157,6 +163,7 @@ func transient(c *Circuit, opts TranOpts, watch *thresholdWatch) (*TranResult, e
 		if err != nil {
 			return nil, fmt.Errorf("spice: transient matrix is singular (floating node?): %w", err)
 		}
+		rec.Add(obs.CtrMNAFactorizations, 1)
 		beHist = linalg.NewMatrix(sys.size, sys.size)
 		beHist.AddScaled(sys.c, 1/h)
 	}
@@ -175,6 +182,15 @@ func transient(c *Circuit, opts TranOpts, watch *thresholdWatch) (*TranResult, e
 	sys.rhs(bPrev, 0)
 
 	res := &TranResult{}
+	rec.Add(obs.CtrTranRuns, 1)
+	// One triangular solve per executed step; no error exits remain once
+	// res is allocated, so the deferred flush covers both the early-exit
+	// and the run-to-Stop return paths.
+	defer func() {
+		rec.Add(obs.CtrTranSteps, int64(res.Steps))
+		rec.Add(obs.CtrMNASolves, int64(res.Steps))
+		rec.Observe(obs.HistTranSteps, float64(res.Steps))
+	}()
 	var crossings []float64
 	var prevWatch []float64
 	if watch != nil {
@@ -254,6 +270,7 @@ func transient(c *Circuit, opts TranOpts, watch *thresholdWatch) (*TranResult, e
 			if remaining == 0 && !opts.Record {
 				// Every watched node has crossed; the caller only needs the
 				// crossing times, so stop early.
+				rec.Add(obs.CtrTranEarlyExits, 1)
 				res.Steps = k
 				final := make([]float64, c.numNodes)
 				for n := 1; n < c.numNodes; n++ {

@@ -32,6 +32,7 @@ import (
 	"nontree/internal/graph"
 	"nontree/internal/mst"
 	"nontree/internal/netlist"
+	"nontree/internal/obs"
 	"nontree/internal/pdtree"
 	"nontree/internal/rc"
 	"nontree/internal/spice"
@@ -59,7 +60,20 @@ type (
 	WireSizeResult = core.WireSizeResult
 	// HybridResult reports a HORG run (routing + sizing stages).
 	HybridResult = core.HORGResult
+	// Recorder receives observability counters and timings from algorithm
+	// runs; pass one via Config.Obs. NewMetrics returns the standard
+	// implementation.
+	Recorder = obs.Recorder
+	// Metrics is the concrete thread-safe Recorder; call Snapshot to read
+	// its state and Snapshot().Fingerprint() for a canonical rendering of
+	// the deterministic sections (see DESIGN.md §10).
+	Metrics = obs.Registry
+	// MetricsSnapshot is a frozen view of a Metrics recorder.
+	MetricsSnapshot = obs.Snapshot
 )
+
+// NewMetrics returns an empty metrics recorder for Config.Obs.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // DefaultParams returns the paper's Table 1 technology: 100Ω driver,
 // 0.03Ω/µm, 0.352fF/µm, 492fH/µm wire, 15.3fF sink loads, 1V supply —
@@ -175,6 +189,10 @@ type Config struct {
 	// are byte-identical for any value — see DESIGN.md §7 on the
 	// concurrency model and determinism guarantee.
 	Workers int
+	// Obs receives counters and timings from the run (nil = discard).
+	// Counter and histogram sections are deterministic for a fixed seed
+	// at any Workers value; see DESIGN.md §10.
+	Obs Recorder
 }
 
 func (c Config) params() Params {
@@ -185,14 +203,14 @@ func (c Config) params() Params {
 }
 
 func (c Config) coreOptions() core.Options {
-	opts := core.Options{MaxAddedEdges: c.MaxAddedEdges, Workers: c.Workers}
+	opts := core.Options{MaxAddedEdges: c.MaxAddedEdges, Workers: c.Workers, Obs: c.Obs}
 	switch c.Oracle {
 	case OracleSpice:
-		opts.Oracle = &core.SpiceOracle{Params: c.params()}
+		opts.Oracle = &core.SpiceOracle{Params: c.params(), Obs: c.Obs}
 	case OracleTwoPole:
-		opts.Oracle = &core.TwoPoleOracle{Params: c.params()}
+		opts.Oracle = &core.TwoPoleOracle{Params: c.params(), Obs: c.Obs}
 	default:
-		opts.Oracle = &core.ElmoreOracle{Params: c.params()}
+		opts.Oracle = &core.ElmoreOracle{Params: c.params(), Obs: c.Obs}
 	}
 	if c.SinkWeights != nil {
 		opts.Objective = &core.WeightedDelayObjective{Alphas: c.SinkWeights}
@@ -281,6 +299,7 @@ func WireSize(t *Topology, maxWidth int, cfg Config) (*WireSizeResult, error) {
 		Objective: opts.Objective,
 		MaxWidth:  maxWidth,
 		Workers:   cfg.Workers,
+		Obs:       cfg.Obs,
 	})
 }
 
@@ -292,7 +311,7 @@ func HORG(net *Net, alphas []float64, useSteiner bool, maxWidth int, cfg Config)
 		return nil, err
 	}
 	opts := cfg.coreOptions()
-	return core.HORG(net.Pins, alphas, useSteiner, core.WireSizeOptions{MaxWidth: maxWidth, Workers: cfg.Workers}, opts)
+	return core.HORG(net.Pins, alphas, useSteiner, core.WireSizeOptions{MaxWidth: maxWidth, Workers: cfg.Workers, Obs: cfg.Obs}, opts)
 }
 
 // DelayReport holds measured delays of a topology.
