@@ -39,7 +39,7 @@ func main() {
 	}
 }
 
-func realMain() error {
+func realMain() (retErr error) {
 	var (
 		exp        = flag.String("exp", "all", "experiment: all, tables, figures, table2..table7, fig1, fig2, fig3, fig5, csorg, wsorg, timing, frontier")
 		trials     = flag.Int("trials", 50, "random nets per size (paper: 50)")
@@ -66,24 +66,34 @@ func realMain() error {
 		if err != nil {
 			return err
 		}
+		// LIFO: the profile must stop (and flush) before the file closes. A
+		// close error means a truncated profile, so it fails the run — an
+		// unnoticed partial profile is worse than an error exit.
+		defer func() {
+			if err := f.Close(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("closing CPU profile %s: %w", *cpuProfile, err)
+			}
+		}()
+		defer pprof.StopCPUProfile()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
-		// LIFO: the profile must stop (and flush) before the file closes.
-		defer f.Close()
-		defer pprof.StopCPUProfile()
 	}
 	if *memProfile != "" {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				log.Print(err)
+				if retErr == nil {
+					retErr = err
+				}
 				return
 			}
-			defer f.Close()
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Print(err)
+			if err := pprof.WriteHeapProfile(f); err != nil && retErr == nil {
+				retErr = fmt.Errorf("writing heap profile %s: %w", *memProfile, err)
+			}
+			if err := f.Close(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("closing heap profile %s: %w", *memProfile, err)
 			}
 		}()
 	}

@@ -15,8 +15,10 @@
 //   - calls to runtime.GOMAXPROCS or runtime.NumCPU.
 //
 // Sanctioned uses — the seeded test-case generators in internal/netlist
-// and internal/expt, and the Workers:0 → one-goroutine-per-CPU resolution
-// whose reduction is order-independent — carry
+// and internal/expt, the Workers:0 → one-goroutine-per-CPU resolution
+// whose reduction is order-independent, and the confined clock readers in
+// internal/obs (span.go) and internal/trace (ring.go) whose readings only
+// ever reach determinism-excluded sections — carry
 // //nontree:allow nondetsource <justification> annotations.
 package nondetsource
 
@@ -51,6 +53,12 @@ var Analyzer = &analysis.Analyzer{
 		"internal/expt",
 		"internal/embed",
 		"internal/viz",
+		// The observability layer is in scope so the clock stays confined:
+		// obs/span.go and trace/ring.go are the only annotated readers, and
+		// everything they capture lands in sections (Timings, Event.Elapsed)
+		// that the determinism comparisons exclude (DESIGN.md §10, §11).
+		"internal/obs",
+		"internal/trace",
 	},
 	Run: run,
 }

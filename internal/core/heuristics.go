@@ -8,6 +8,7 @@ import (
 	"nontree/internal/graph"
 	"nontree/internal/obs"
 	"nontree/internal/rc"
+	"nontree/internal/trace"
 )
 
 // H1 runs the paper's first fast heuristic: "Connect n0 to the pin with the
@@ -38,7 +39,8 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 	res.InitialObjective = cur
 	res.Trace = append(res.Trace, cur)
 
-	for {
+	tr := opts.trace()
+	for sweep := 1; ; sweep++ {
 		if opts.MaxAddedEdges > 0 && len(res.AddedEdges) >= opts.MaxAddedEdges {
 			break
 		}
@@ -50,6 +52,9 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 		if t.HasEdge(e) || t.ZeroLength(e) {
 			break // the worst sink is already directly connected
 		}
+		// H1 probes exactly one candidate per sweep: the worst sink's
+		// shortcut, tried on the live topology and reverted on failure.
+		tr.Emit(trace.Event{Kind: trace.KindSweepStart, Sweep: sweep, N: 1})
 		if err := t.AddEdge(e); err != nil {
 			return nil, fmt.Errorf("core: H1 adding %v: %w", e, err)
 		}
@@ -63,16 +68,22 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: 0,
+			U: e.U, V: e.V, Value: val})
 		if val >= cur*(1-opts.minImprovement()) {
 			// Not an improvement: revert and stop.
 			if err := t.RemoveEdge(e); err != nil {
 				return nil, err
 			}
+			tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
+				U: e.U, V: e.V, Value: val, Before: cur, Reason: trace.ReasonReverted})
 			break
 		}
 		res.AddedEdges = append(res.AddedEdges, e)
 		res.Trace = append(res.Trace, val)
 		opts.obs().Add(obs.CtrAcceptedEdges, 1)
+		tr.Emit(trace.Event{Kind: trace.KindEdgeAccepted, Sweep: sweep,
+			U: e.U, V: e.V, Before: cur, After: val})
 		cur = val
 		delays = newDelays
 	}
@@ -167,6 +178,8 @@ func elmoreSelectedAddition(seed *graph.Topology, params rc.Params, opts Options
 	if pick >= 1 {
 		e := graph.Edge{U: 0, V: pick}.Canon()
 		if !t.HasEdge(e) && t.EdgeLength(e) > 0 {
+			tr := opts.trace()
+			tr.Emit(trace.Event{Kind: trace.KindSweepStart, Sweep: 1, N: 1})
 			if err := t.AddEdge(e); err != nil {
 				return nil, fmt.Errorf("core: H2/H3 adding %v: %w", e, err)
 			}
@@ -177,6 +190,10 @@ func elmoreSelectedAddition(seed *graph.Topology, params rc.Params, opts Options
 			res.AddedEdges = append(res.AddedEdges, e)
 			res.Trace = append(res.Trace, val)
 			opts.obs().Add(obs.CtrAcceptedEdges, 1)
+			tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: 1, Index: 0,
+				U: e.U, V: e.V, Value: val})
+			tr.Emit(trace.Event{Kind: trace.KindEdgeAccepted, Sweep: 1,
+				U: e.U, V: e.V, Before: cur, After: val})
 			cur = val
 		}
 	}

@@ -76,6 +76,9 @@ func HORG(pins []geom.Point, alphas []float64, useSteiner bool, wsOpts WireSizeO
 	if wsOpts.Obs == nil {
 		wsOpts.Obs = opts.Obs
 	}
+	if wsOpts.Trace == nil {
+		wsOpts.Trace = opts.Trace
+	}
 	sizing, err := WireSize(routing.Topology, wsOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: HORG sizing stage: %w", err)

@@ -3,11 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 
 	"nontree/internal/graph"
 	"nontree/internal/obs"
 	"nontree/internal/rc"
+	"nontree/internal/trace"
 )
 
 // Options configures the LDRG greedy loop and the heuristics.
@@ -48,6 +50,13 @@ type Options struct {
 	// Workers value; wall-clock timings land in the recorder's Timings
 	// section, which the determinism guarantee excludes (DESIGN.md §10).
 	Obs obs.Recorder
+	// Trace receives the structured decision trace of the run (nil =
+	// discard): sweep starts, per-candidate scores, accepted and rejected
+	// edges. All events are emitted from deterministic program points —
+	// in parallel sweeps, after the deterministic reduction and in
+	// canonical candidate order — so for a fixed seed the deterministic
+	// event fields are byte-identical at any Workers value (DESIGN.md §11).
+	Trace trace.Tracer
 }
 
 func (o *Options) objective() Objective {
@@ -67,6 +76,8 @@ func (o *Options) minImprovement() float64 {
 func (o *Options) workers() int { return workerCount(o.Workers) }
 
 func (o *Options) obs() obs.Recorder { return obs.OrNop(o.Obs) }
+
+func (o *Options) trace() trace.Tracer { return trace.OrNop(o.Trace) }
 
 // workerCount resolves a Workers knob: 0 = one per CPU, anything below 1 is
 // clamped to sequential.
@@ -129,11 +140,11 @@ func LDRG(seed *graph.Topology, opts Options) (*Result, error) {
 	res.InitialObjective = cur
 	res.Trace = append(res.Trace, cur)
 
-	for {
+	for sweep := 1; ; sweep++ {
 		if opts.MaxAddedEdges > 0 && len(res.AddedEdges) >= opts.MaxAddedEdges {
 			break
 		}
-		bestEdge, bestVal, found, err := bestAddition(t, &opts, obj, cur, res)
+		bestEdge, bestVal, found, err := bestAddition(t, &opts, obj, cur, res, sweep)
 		if err != nil {
 			return nil, err
 		}
@@ -146,6 +157,8 @@ func LDRG(seed *graph.Topology, opts Options) (*Result, error) {
 		res.AddedEdges = append(res.AddedEdges, bestEdge)
 		res.Trace = append(res.Trace, bestVal)
 		opts.obs().Add(obs.CtrAcceptedEdges, 1)
+		opts.trace().Emit(trace.Event{Kind: trace.KindEdgeAccepted, Sweep: sweep,
+			U: bestEdge.U, V: bestEdge.V, Before: cur, After: bestVal})
 		cur = bestVal
 	}
 
@@ -177,23 +190,26 @@ func candidateEdges(t *graph.Topology, opts *Options) []graph.Edge {
 // objective if it beats cur by the improvement threshold. With Workers != 1
 // the scan fans out over a worker pool (see parallel.go); the reducer keeps
 // the sequential scan's selection rule so results are identical either way.
-func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, float64, bool, error) {
+func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, sweep int) (graph.Edge, float64, bool, error) {
 	cands := candidateEdges(t, opts)
 	rec := opts.obs()
 	rec.Add(obs.CtrSweeps, 1)
 	rec.Add(obs.CtrSweepCandidates, int64(len(cands)))
 	rec.Observe(obs.HistSweepCandidates, float64(len(cands)))
-	sweep := obs.StartSpan(rec, obs.TimeSweep)
-	defer sweep.End()
+	tr := opts.trace()
+	tr.Emit(trace.Event{Kind: trace.KindSweepStart, Sweep: sweep, N: int64(len(cands))})
+	span := obs.StartSpan(rec, obs.TimeSweep)
+	defer span.End()
 	if w := opts.workers(); w > 1 && len(cands) > 1 {
-		return bestAdditionParallel(t, opts, obj, cur, res, cands)
+		return bestAdditionParallel(t, opts, obj, cur, res, cands, sweep)
 	}
 	bestVal := cur
 	var bestEdge graph.Edge
 	found := false
 	threshold := cur * (1 - opts.minImprovement())
+	minIdx, minVal := -1, math.Inf(1)
 
-	for _, e := range cands {
+	for i, e := range cands {
 		if err := t.AddEdge(e); err != nil {
 			return graph.Edge{}, 0, false, fmt.Errorf("core: trying edge %v: %w", e, err)
 		}
@@ -205,11 +221,21 @@ func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, 
 		if rmErr != nil {
 			return graph.Edge{}, 0, false, fmt.Errorf("core: reverting edge %v: %w", e, rmErr)
 		}
+		tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: i,
+			U: e.U, V: e.V, Value: val})
+		if val < minVal {
+			minIdx, minVal = i, val
+		}
 		if val < bestVal && val < threshold {
 			bestVal = val
 			bestEdge = e
 			found = true
 		}
+	}
+	if !found && minIdx >= 0 {
+		tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
+			U: cands[minIdx].U, V: cands[minIdx].V, Value: minVal, Before: cur,
+			Reason: trace.ReasonNoImprovement})
 	}
 	return bestEdge, bestVal, found, nil
 }

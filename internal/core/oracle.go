@@ -22,6 +22,7 @@ import (
 	"nontree/internal/obs"
 	"nontree/internal/rc"
 	"nontree/internal/spice"
+	"nontree/internal/trace"
 )
 
 // DelayOracle estimates per-node signal delays of a routing topology.
@@ -54,6 +55,11 @@ type ElmoreOracle struct {
 	Params rc.Params
 	// Obs counts the oracle's internal linear solves (nil = discard).
 	Obs obs.Recorder
+	// Trace emits one oracle_eval event per SinkDelays call (nil =
+	// discard). With Workers != 1 calls come from worker goroutines, so
+	// event order is deterministic only in sequential contexts — the
+	// greedy sweeps therefore never set this themselves (DESIGN.md §11).
+	Trace trace.Tracer
 }
 
 // Name implements DelayOracle.
@@ -68,6 +74,8 @@ func (o *ElmoreOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]floa
 		return nil, err
 	}
 	obs.OrNop(o.Obs).Add(obs.CtrElmoreSolves, 1)
+	trace.OrNop(o.Trace).Emit(trace.Event{Kind: trace.KindOracleEval,
+		Oracle: o.Name(), N: int64(t.NumNodes())})
 	return elmore.GraphDelays(t, l)
 }
 
@@ -80,6 +88,9 @@ type TwoPoleOracle struct {
 	Params rc.Params
 	// Obs counts the oracle's internal linear solves (nil = discard).
 	Obs obs.Recorder
+	// Trace emits one oracle_eval event per SinkDelays call (nil =
+	// discard); same ordering caveat as ElmoreOracle.Trace.
+	Trace trace.Tracer
 }
 
 // Name implements DelayOracle.
@@ -94,6 +105,8 @@ func (o *TwoPoleOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]flo
 		return nil, err
 	}
 	obs.OrNop(o.Obs).Add(obs.CtrElmoreSolves, 2) // first and second moment solves
+	trace.OrNop(o.Trace).Emit(trace.Event{Kind: trace.KindOracleEval,
+		Oracle: o.Name(), N: int64(t.NumNodes())})
 	return elmore.TwoPoleDelays(t, l)
 }
 
@@ -112,6 +125,9 @@ type SpiceOracle struct {
 	// horizon retries, …); nil discards them. A recorder already set on
 	// Measure.Obs takes precedence.
 	Obs obs.Recorder
+	// Trace emits one oracle_eval event per SinkDelays call (nil =
+	// discard); same ordering caveat as ElmoreOracle.Trace.
+	Trace trace.Tracer
 }
 
 // Name implements DelayOracle.
@@ -137,6 +153,8 @@ func (o *SpiceOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float
 	if mo.Obs == nil {
 		mo.Obs = o.Obs
 	}
+	trace.OrNop(o.Trace).Emit(trace.Event{Kind: trace.KindOracleEval,
+		Oracle: o.Name(), N: int64(t.NumNodes())})
 	crossings, err := spice.MeasureDelays(cm.Circuit, cm.SinkNodes, mo)
 	if err != nil {
 		return nil, fmt.Errorf("core: spice oracle on %d-node topology: %w", t.NumNodes(), err)

@@ -25,12 +25,14 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"nontree/internal/geom"
 	"nontree/internal/graph"
 	"nontree/internal/obs"
+	"nontree/internal/trace"
 )
 
 // sweepOutcome records one candidate's evaluation.
@@ -108,7 +110,10 @@ func reduceSweep(outcomes []sweepOutcome, cur, threshold float64) (int, float64,
 
 // bestAdditionParallel is the worker-pool form of bestAddition: identical
 // selection, candidates partitioned across opts.workers() goroutines.
-func bestAdditionParallel(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, cands []graph.Edge) (graph.Edge, float64, bool, error) {
+// Trace events are emitted only after the pool joins, from this goroutine,
+// in canonical candidate order — the same sequence the sequential scan
+// produces, which is what makes traces byte-identical at any worker count.
+func bestAdditionParallel(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, cands []graph.Edge, sweep int) (graph.Edge, float64, bool, error) {
 	outcomes, evals := runSweep(t, opts.workers(), len(cands), opts.obs(), func(i int, clone *graph.Topology) (float64, error) {
 		e := cands[i]
 		if err := clone.AddEdge(e); err != nil {
@@ -130,7 +135,24 @@ func bestAdditionParallel(t *graph.Topology, opts *Options, obj Objective, cur f
 	if err != nil {
 		return graph.Edge{}, 0, false, err
 	}
+	tr := opts.trace()
+	minIdx, minVal := -1, math.Inf(1)
+	for i := range outcomes {
+		if !outcomes[i].ok {
+			continue
+		}
+		tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: i,
+			U: cands[i].U, V: cands[i].V, Value: outcomes[i].val})
+		if outcomes[i].val < minVal {
+			minIdx, minVal = i, outcomes[i].val
+		}
+	}
 	if best < 0 {
+		if minIdx >= 0 {
+			tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
+				U: cands[minIdx].U, V: cands[minIdx].V, Value: minVal, Before: cur,
+				Reason: trace.ReasonNoImprovement})
+		}
 		return graph.Edge{}, cur, false, nil
 	}
 	return cands[best], bestVal, true, nil
@@ -145,7 +167,9 @@ type tapCandidate struct {
 // bestTapParallel is the worker-pool form of bestTap. scoreTapped applies
 // each split to a fresh clone and leaves the worker's base clone untouched,
 // so every candidate's circuit is exactly "current topology + this tap".
-func bestTapParallel(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, cands []tapCandidate) (graph.Edge, geom.Point, float64, bool, error) {
+// Like bestAdditionParallel, trace emission happens post-join in canonical
+// candidate order.
+func bestTapParallel(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, cands []tapCandidate, sweep int) (graph.Edge, geom.Point, float64, bool, error) {
 	outcomes, evals := runSweep(t, opts.workers(), len(cands), opts.obs(), func(i int, clone *graph.Topology) (float64, error) {
 		return scoreTapped(clone, opts, obj, cands[i].edge, cands[i].point)
 	})
@@ -155,7 +179,26 @@ func bestTapParallel(t *graph.Topology, opts *Options, obj Objective, cur float6
 	if err != nil {
 		return graph.Edge{}, geom.Point{}, 0, false, err
 	}
+	tr := opts.trace()
+	minIdx, minVal := -1, math.Inf(1)
+	for i := range outcomes {
+		if !outcomes[i].ok {
+			continue
+		}
+		tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: i,
+			U: cands[i].edge.U, V: cands[i].edge.V, Tap: true,
+			X: cands[i].point.X, Y: cands[i].point.Y, Value: outcomes[i].val})
+		if outcomes[i].val < minVal {
+			minIdx, minVal = i, outcomes[i].val
+		}
+	}
 	if best < 0 {
+		if minIdx >= 0 {
+			tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
+				U: cands[minIdx].edge.U, V: cands[minIdx].edge.V, Tap: true,
+				X: cands[minIdx].point.X, Y: cands[minIdx].point.Y,
+				Value: minVal, Before: cur, Reason: trace.ReasonNoImprovement})
+		}
 		return graph.Edge{}, geom.Point{}, cur, false, nil
 	}
 	return cands[best].edge, cands[best].point, bestVal, true, nil

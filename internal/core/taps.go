@@ -7,6 +7,7 @@ import (
 	"nontree/internal/geom"
 	"nontree/internal/graph"
 	"nontree/internal/obs"
+	"nontree/internal/trace"
 )
 
 // LDRGWithTaps generalizes the LDRG greedy loop toward the paper's full
@@ -35,17 +36,17 @@ func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
 	res.InitialObjective = cur
 	res.Trace = append(res.Trace, cur)
 
-	for {
+	for sweep := 1; ; sweep++ {
 		if opts.MaxAddedEdges > 0 && len(res.AddedEdges) >= opts.MaxAddedEdges {
 			break
 		}
 		// Plain edge candidates.
-		bestEdge, bestVal, foundEdge, err := bestAddition(t, &opts, obj, cur, res)
+		bestEdge, bestVal, foundEdge, err := bestAddition(t, &opts, obj, cur, res, sweep)
 		if err != nil {
 			return nil, err
 		}
 		// Tap candidates.
-		tapEdge, tapPoint, tapVal, foundTap, err := bestTap(t, &opts, obj, cur, res)
+		tapEdge, tapPoint, tapVal, foundTap, err := bestTap(t, &opts, obj, cur, res, sweep)
 		if err != nil {
 			return nil, err
 		}
@@ -60,6 +61,9 @@ func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
 			res.Trace = append(res.Trace, tapVal)
 			opts.obs().Add(obs.CtrAcceptedEdges, 1)
 			opts.obs().Add(obs.CtrTapsAccepted, 1)
+			opts.trace().Emit(trace.Event{Kind: trace.KindEdgeAccepted, Sweep: sweep,
+				U: added.U, V: added.V, Tap: true, X: tapPoint.X, Y: tapPoint.Y,
+				Before: cur, After: tapVal})
 			cur = tapVal
 		case foundEdge:
 			if err := t.AddEdge(bestEdge); err != nil {
@@ -68,6 +72,8 @@ func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
 			res.AddedEdges = append(res.AddedEdges, bestEdge)
 			res.Trace = append(res.Trace, bestVal)
 			opts.obs().Add(obs.CtrAcceptedEdges, 1)
+			opts.trace().Emit(trace.Event{Kind: trace.KindEdgeAccepted, Sweep: sweep,
+				U: bestEdge.U, V: bestEdge.V, Before: cur, After: bestVal})
 			cur = bestVal
 		default:
 			res.FinalObjective = cur
@@ -78,8 +84,10 @@ func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
 	return compactTapResult(res)
 }
 
-// compactTapResult drops the isolated Steiner nodes left behind by tap
-// evaluation (they carry no wire) and remaps the recorded edges.
+// compactTapResult drops any isolated Steiner nodes (they carry no wire)
+// and remaps the recorded edges. Tap evaluation scores candidates on
+// clones, so in practice the live topology has none and the remap is the
+// identity — this stays as a defensive invariant.
 func compactTapResult(res *Result) (*Result, error) {
 	compacted, remap := res.Topology.Compact()
 	for i, e := range res.AddedEdges {
@@ -116,22 +124,36 @@ func tapCandidates(t *graph.Topology) []tapCandidate {
 
 // bestTap evaluates every tap candidate, returning the best improving one.
 // With Workers != 1 the sweep fans out over the worker pool (parallel.go).
-func bestTap(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result) (graph.Edge, geom.Point, float64, bool, error) {
+func bestTap(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, sweep int) (graph.Edge, geom.Point, float64, bool, error) {
 	cands := tapCandidates(t)
 	opts.obs().Add(obs.CtrTapCandidates, int64(len(cands)))
+	tr := opts.trace()
+	tr.Emit(trace.Event{Kind: trace.KindSweepStart, Sweep: sweep, Tap: true, N: int64(len(cands))})
 	if w := opts.workers(); w > 1 && len(cands) > 1 {
-		return bestTapParallel(t, opts, obj, cur, res, cands)
+		return bestTapParallel(t, opts, obj, cur, res, cands, sweep)
 	}
 	bestVal := cur
 	threshold := cur * (1 - opts.minImprovement())
 	var bestEdge graph.Edge
 	var bestPoint geom.Point
 	found := false
+	minIdx, minVal := -1, math.Inf(1)
 
-	for _, c := range cands {
-		val, err := evalTap(t, opts, obj, res, c.edge, c.point)
+	for i, c := range cands {
+		// Score on a clone, exactly like the parallel path: mutating the
+		// live topology would allocate a Steiner node per candidate (there
+		// is no node removal), skewing node ids between worker counts and
+		// breaking the trace byte-identity contract.
+		val, err := scoreTapped(t, opts, obj, c.edge, c.point)
 		if err != nil {
 			return graph.Edge{}, geom.Point{}, 0, false, err
+		}
+		res.Evaluations++
+		opts.obs().Add(obs.CtrOracleEvaluations, 1)
+		tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: i,
+			U: c.edge.U, V: c.edge.V, Tap: true, X: c.point.X, Y: c.point.Y, Value: val})
+		if val < minVal {
+			minIdx, minVal = i, val
 		}
 		if val < bestVal && val < threshold {
 			bestVal = val
@@ -139,6 +161,12 @@ func bestTap(t *graph.Topology, opts *Options, obj Objective, cur float64, res *
 			bestPoint = c.point
 			found = true
 		}
+	}
+	if !found && minIdx >= 0 {
+		tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
+			U: cands[minIdx].edge.U, V: cands[minIdx].edge.V, Tap: true,
+			X: cands[minIdx].point.X, Y: cands[minIdx].point.Y,
+			Value: minVal, Before: cur, Reason: trace.ReasonNoImprovement})
 	}
 	return bestEdge, bestPoint, bestVal, found, nil
 }
@@ -161,42 +189,6 @@ func scoreTapped(base *graph.Topology, opts *Options, obj Objective, e graph.Edg
 		}
 	}
 	val, err := scoreTopology(c, opts, obj)
-	if err != nil {
-		return 0, fmt.Errorf("core: evaluating tap on %v: %w", e, err)
-	}
-	return val, nil
-}
-
-// evalTap scores the topology with edge e split at p and the source wired
-// to the split point, then restores the topology exactly.
-func evalTap(t *graph.Topology, opts *Options, obj Objective, res *Result, e graph.Edge, p geom.Point) (float64, error) {
-	// Mutate: the Steiner node stays allocated after restore (isolated
-	// nodes are ignored by delay models and compacted at the end), so
-	// evaluation cost stays O(1) allocations per candidate.
-	s := t.AddSteinerNode(p)
-	if err := t.RemoveEdge(e); err != nil {
-		return 0, err
-	}
-	restore := func() error {
-		for _, ne := range [](graph.Edge){{U: e.U, V: s}, {U: s, V: e.V}, {U: 0, V: s}} {
-			if t.HasEdge(ne) {
-				if err := t.RemoveEdge(ne); err != nil {
-					return err
-				}
-			}
-		}
-		return t.AddEdge(e)
-	}
-	for _, ne := range [](graph.Edge){{U: e.U, V: s}, {U: s, V: e.V}, {U: 0, V: s}} {
-		if err := t.AddEdge(ne); err != nil {
-			_ = restore()
-			return 0, fmt.Errorf("core: tap edge %v: %w", ne, err)
-		}
-	}
-	val, err := score(t, opts, obj, res)
-	if rerr := restore(); rerr != nil {
-		return 0, fmt.Errorf("core: restoring after tap evaluation: %w", rerr)
-	}
 	if err != nil {
 		return 0, fmt.Errorf("core: evaluating tap on %v: %w", e, err)
 	}

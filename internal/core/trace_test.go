@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nontree/internal/graph"
+	"nontree/internal/trace"
+)
+
+// traceOf runs fn against a fresh ring tracer and returns the captured
+// events, failing the test on any run or overflow error.
+func traceOf(t *testing.T, label string, capacity int, fn func(tr trace.Tracer) error) []trace.Event {
+	t.Helper()
+	ring := trace.NewRing(capacity)
+	if err := fn(ring); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if ring.Dropped() != 0 {
+		t.Fatalf("%s: ring dropped %d events; raise the test capacity", label, ring.Dropped())
+	}
+	return ring.Events()
+}
+
+// TestTraceDeterministicAcrossWorkers is the tentpole guarantee of the
+// trace subsystem: for a fixed seed, the deterministic projection of the
+// trace is byte-identical at any Workers value — including the full
+// per-candidate score sequence, not just the accepted edges (DESIGN.md §11).
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	workerGrid := []int{1, 4, 0} // 0 = one worker per CPU (GOMAXPROCS)
+
+	type run struct {
+		name string
+		fn   func(tr trace.Tracer, workers int) ([]graph.Edge, error)
+	}
+	topo := randomMST(t, 712, 12)
+	tapTopo := randomMST(t, 455, 9)
+	runs := []run{
+		{"LDRG", func(tr trace.Tracer, workers int) ([]graph.Edge, error) {
+			res, err := LDRG(topo, Options{Oracle: elmoreOracle(), Workers: workers, Trace: tr})
+			if err != nil {
+				return nil, err
+			}
+			return res.AddedEdges, nil
+		}},
+		{"LDRGWithTaps", func(tr trace.Tracer, workers int) ([]graph.Edge, error) {
+			_, err := LDRGWithTaps(tapTopo, Options{Oracle: elmoreOracle(), Workers: workers, Trace: tr})
+			return nil, err
+		}},
+		{"WireSize", func(tr trace.Tracer, workers int) ([]graph.Edge, error) {
+			_, err := WireSize(topo, WireSizeOptions{Oracle: elmoreOracle(), MaxWidth: 3, Workers: workers, Trace: tr})
+			return nil, err
+		}},
+	}
+
+	for _, r := range runs {
+		var baseline []trace.Event
+		var baselineEdges []graph.Edge
+		for _, workers := range workerGrid {
+			label := fmt.Sprintf("%s/w%d", r.name, workers)
+			var edges []graph.Edge
+			events := traceOf(t, label, 1<<16, func(tr trace.Tracer) error {
+				var err error
+				edges, err = r.fn(tr, workers)
+				return err
+			})
+			if len(events) == 0 {
+				t.Fatalf("%s: empty trace", label)
+			}
+			if baseline == nil {
+				baseline, baselineEdges = events, edges
+				continue
+			}
+			if drifts := trace.Diff(events, baseline); len(drifts) != 0 {
+				t.Errorf("%s drifted from Workers=%d baseline:\n%s",
+					label, workerGrid[0], trace.FormatDrifts(drifts))
+			}
+			if trace.Fingerprint(events) != trace.Fingerprint(baseline) {
+				t.Errorf("%s: fingerprint differs from baseline", label)
+			}
+			for i, e := range edges {
+				if e != baselineEdges[i] {
+					t.Errorf("%s: accepted edge %d is %v, baseline %v", label, i, e, baselineEdges[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTraceReplaysAcceptedEdges asserts the replay contract: the accepted-
+// edge sequence re-derived from a trace equals Result.AddedEdges exactly.
+func TestTraceReplaysAcceptedEdges(t *testing.T) {
+	topo := randomMST(t, 712, 12)
+	var res *Result
+	events := traceOf(t, "LDRG", 1<<16, func(tr trace.Tracer) error {
+		var err error
+		res, err = LDRG(topo, Options{Oracle: elmoreOracle(), Workers: 4, Trace: tr})
+		return err
+	})
+	accepted := trace.AcceptedEdges(events)
+	if len(accepted) != len(res.AddedEdges) {
+		t.Fatalf("trace has %d accepted edges, result %d", len(accepted), len(res.AddedEdges))
+	}
+	for i, a := range accepted {
+		want := res.AddedEdges[i]
+		if a.U != want.U || a.V != want.V {
+			t.Errorf("accepted %d: trace says (%d,%d), result %v", i, a.U, a.V, want)
+		}
+		if a.After != res.Trace[i+1] {
+			t.Errorf("accepted %d: trace objective %g, result %g", i, a.After, res.Trace[i+1])
+		}
+	}
+}
+
+// TestTraceEventShape spot-checks the event grammar of one LDRG run: every
+// sweep opens with sweep_start, candidate indices restart per sweep, and a
+// converged run ends with an edge_rejected explaining the stop.
+func TestTraceEventShape(t *testing.T) {
+	topo := randomMST(t, 712, 10)
+	events := traceOf(t, "LDRG", 1<<16, func(tr trace.Tracer) error {
+		_, err := LDRG(topo, Options{Oracle: elmoreOracle(), Trace: tr})
+		return err
+	})
+	if events[0].Kind != trace.KindSweepStart || events[0].Sweep != 1 {
+		t.Fatalf("trace does not open with sweep 1: %+v", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Kind != trace.KindEdgeRejected || last.Reason != trace.ReasonNoImprovement {
+		t.Errorf("converged run should end with a no_improvement rejection, got %+v", last)
+	}
+	sweep, wantIdx := 0, 0
+	for _, e := range events {
+		if e.Seq == 0 {
+			t.Fatalf("event missing seq: %+v", e)
+		}
+		switch e.Kind {
+		case trace.KindSweepStart:
+			if e.Sweep != sweep+1 {
+				t.Fatalf("sweep numbering jumped from %d to %d", sweep, e.Sweep)
+			}
+			sweep, wantIdx = e.Sweep, 0
+		case trace.KindCandidateScored:
+			if e.Sweep != sweep || e.Index != wantIdx {
+				t.Fatalf("candidate out of order in sweep %d: %+v (want index %d)", sweep, e, wantIdx)
+			}
+			wantIdx++
+		}
+	}
+}

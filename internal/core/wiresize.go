@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"nontree/internal/graph"
 	"nontree/internal/obs"
 	"nontree/internal/rc"
+	"nontree/internal/trace"
 )
 
 // WireSizeOptions configures the WSORG greedy width optimizer.
@@ -34,6 +36,10 @@ type WireSizeOptions struct {
 	// Obs receives counters and span timings (nil = discard); same
 	// determinism contract as Options.Obs.
 	Obs obs.Recorder
+	// Trace receives the decision trace (nil = discard); same determinism
+	// contract as Options.Trace. Widening candidates carry the proposed
+	// width; accepted widenings emit wiresize_step events.
+	Trace trace.Tracer
 }
 
 // WireSizeResult reports a WSORG run.
@@ -99,6 +105,7 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 	res := &WireSizeResult{Widths: widths}
 	widthFn := func(e graph.Edge) float64 { return float64(widths[e.Canon()]) }
 	rec := obs.OrNop(opts.Obs)
+	tr := trace.OrNop(opts.Trace)
 
 	eval := func() (float64, error) {
 		delays, err := opts.Oracle.SinkDelays(t, widthFn)
@@ -116,7 +123,7 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 	}
 	res.InitialObjective = cur
 
-	for {
+	for sweep := 1; ; sweep++ {
 		// Widening candidates in canonical edge order (fixes tie-breaking).
 		var cands []graph.Edge
 		for _, e := range t.Edges() {
@@ -126,6 +133,7 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 		}
 
 		rec.Add(obs.CtrWidenCandidates, int64(len(cands)))
+		tr.Emit(trace.Event{Kind: trace.KindSweepStart, Sweep: sweep, N: int64(len(cands))})
 
 		// The candidate objectives, aligned with cands. The widths map is
 		// read-only during a sweep, so with Workers != 1 each candidate is
@@ -168,6 +176,18 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 			}
 		}
 
+		// Candidate events in canonical order, emitted from this goroutine
+		// only, after the (possibly parallel) evaluation — the contract
+		// that keeps traces byte-identical at any worker count.
+		minIdx, minVal := -1, math.Inf(1)
+		for i, e := range cands {
+			tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: i,
+				U: e.U, V: e.V, Width: widths[e] + 1, Value: vals[i]})
+			if vals[i] < minVal {
+				minIdx, minVal = i, vals[i]
+			}
+		}
+
 		bestEdge := graph.Edge{U: -1, V: -1}
 		bestVal := cur
 		bestGainRate := 0.0
@@ -190,11 +210,20 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 			}
 		}
 		if bestEdge.U < 0 {
+			if minIdx >= 0 {
+				e := cands[minIdx]
+				tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
+					U: e.U, V: e.V, Width: widths[e] + 1, Value: minVal, Before: cur,
+					Reason: trace.ReasonNoImprovement})
+			}
 			break
 		}
 		widths[bestEdge]++
 		res.Widenings++
 		rec.Add(obs.CtrWidenings, 1)
+		tr.Emit(trace.Event{Kind: trace.KindWireSizeStep, Sweep: sweep,
+			U: bestEdge.U, V: bestEdge.V, Width: widths[bestEdge],
+			Before: cur, After: bestVal})
 		cur = bestVal
 	}
 

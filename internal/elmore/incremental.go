@@ -7,6 +7,7 @@ import (
 	"nontree/internal/graph"
 	"nontree/internal/obs"
 	"nontree/internal/rc"
+	"nontree/internal/trace"
 )
 
 // Incremental candidate evaluation for the LDRG greedy loop.
@@ -45,6 +46,10 @@ type Incremental struct {
 	// set (nil = discard). Like the evaluator itself it is used from a
 	// single goroutine.
 	Obs obs.Recorder
+	// Trace emits one oracle_eval event per WithEdge call (nil = discard).
+	// The evaluator is single-goroutine by contract, so event order is
+	// deterministic.
+	Trace trace.Tracer
 }
 
 // NewIncremental prepares incremental evaluation over the topology's
@@ -104,6 +109,8 @@ var ErrDegenerate = errors.New("elmore: candidate edge has zero length")
 //nontree:unit return s
 func (inc *Incremental) WithEdge(e graph.Edge) ([]float64, error) {
 	obs.OrNop(inc.Obs).Add(obs.CtrIncrementalEvals, 1)
+	trace.OrNop(inc.Trace).Emit(trace.Event{Kind: trace.KindOracleEval,
+		Oracle: "elmore-incremental", N: int64(inc.cond.size)})
 	e = e.Canon()
 	length := inc.topo.EdgeLength(e)
 	//nontree:allow floatcmp Manhattan length of coincident points is exactly 0.0; degeneracy sentinel guarding the 1/length conductance below

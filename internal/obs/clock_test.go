@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestClockConfinement pins the observability layer's clock discipline:
+// within internal/obs and internal/trace, only span.go and ring.go may
+// read the wall clock (time.Now / time.Since / time.Until). Those readings
+// feed exclusively the Timings section and Event.Elapsed, both excluded
+// from every determinism comparison — any new clock site must either go
+// through them or widen this allowlist deliberately. The nondetsource
+// analyzer enforces the same rule tree-wide via annotations; this test
+// keeps the confinement visible (and enforced) from inside the package,
+// with no analyzer run required.
+func TestClockConfinement(t *testing.T) {
+	allowed := map[string]bool{
+		"span.go": true, // internal/obs
+		"ring.go": true, // internal/trace
+	}
+	for _, dir := range []string{".", filepath.Join("..", "trace")} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, entry := range entries {
+			name := entry.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok || pkg.Name != "time" {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Now", "Since", "Until":
+					if !allowed[name] {
+						t.Errorf("%s: time.%s outside the clock-confined files (span.go, ring.go); route timings through obs.StartSpan or the ring's Elapsed stamping instead",
+							fset.Position(sel.Pos()), sel.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) rendered from a
+// Snapshot. The mapping follows the Prometheus naming conventions:
+//
+//   - every metric is prefixed "nontree_" and the dotted registry name has
+//     its dots (and any other character outside [a-zA-Z0-9_]) replaced by
+//     underscores: "core.sweep.sweeps" → "nontree_core_sweep_sweeps";
+//   - counters get the conventional "_total" suffix;
+//   - histograms (both the deterministic Histograms section and the
+//     wall-clock Timings section) become Prometheus histograms with
+//     cumulative le-buckets derived from the registry's power-of-two
+//     buckets: bucket index i holds samples in [2^(i−32), 2^(i−31)), so its
+//     upper bound is rendered as le="2^(i−31)". The registry's bounds are
+//     exclusive where Prometheus' are inclusive; for the integer-valued and
+//     timing samples recorded here the discrepancy only moves exact powers
+//     of two one bucket down, which monitoring tolerates.
+//
+// The output is deterministic: metrics are emitted in sorted name order, so
+// identical snapshots render byte-identically.
+
+// promNamespace prefixes every exposed metric.
+const promNamespace = "nontree"
+
+// promName mangles a dotted registry name into a valid Prometheus metric
+// name: [a-zA-Z0-9_] only, "nontree_" prefix.
+func promName(name string) string {
+	b := make([]byte, 0, len(promNamespace)+1+len(name))
+	b = append(b, promNamespace...)
+	b = append(b, '_')
+	for i := 0; i < len(name); i++ {
+		// Digits are fine anywhere here: the "nontree_" prefix guarantees
+		// the full name never starts with one.
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// promFloat renders a float the way Prometheus expects its values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// bucketUpperBound is the exposed le bound of power-of-two bucket i (the
+// registry's bucketIndex inverse: samples in [2^(i−32), 2^(i−31))).
+func bucketUpperBound(i int) float64 { return math.Ldexp(1, i-31) }
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format v0.0.4. Counters become counters, histogram and timing sections
+// become histograms; see the package notes above for the name mapping.
+// Metrics are emitted in sorted name order, so equal snapshots render
+// byte-identically.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(bw, "# HELP %s Cumulative count of %s.\n", pn, name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, s.Counters[name])
+	}
+
+	writeHists := func(section string, hists map[string]HistogramSnapshot) {
+		names = names[:0]
+		for name := range hists {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := hists[name]
+			pn := promName(name)
+			fmt.Fprintf(bw, "# HELP %s Distribution of %s (%s).\n", pn, name, section)
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+			idx := make([]int, 0, len(h.Buckets))
+			for i := range h.Buckets {
+				idx = append(idx, i)
+			}
+			sort.Ints(idx)
+			var cum int64
+			for _, i := range idx {
+				cum += h.Buckets[i]
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, promFloat(bucketUpperBound(i)), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+			fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(h.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+		}
+	}
+	writeHists("histogram", s.Histograms)
+	writeHists("timings", s.Timings)
+
+	return bw.Flush()
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds the registry whose exposition the golden file pins:
+// the full preregistered catalog plus a little deterministic activity so
+// counters, histogram buckets and sums are all exercised.
+func goldenRegistry() *Registry {
+	g := NewRegistry()
+	Preregister(g)
+	g.Add(CtrSweeps, 3)
+	g.Add(CtrOracleEvaluations, 120)
+	g.Add(CtrAcceptedEdges, 2)
+	for _, v := range []float64{1, 3, 40, 40, 41, 1000} {
+		g.Observe(HistSweepCandidates, v)
+	}
+	return g
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file (run with -update to regenerate):\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// promNameRe is the Prometheus metric-name grammar (we never emit colons).
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// parseExposition is a minimal text-format v0.0.4 reader: it returns the
+// value of every sample line keyed by metric name + label part, and the
+// set of names declared by TYPE lines.
+func parseExposition(t *testing.T, text string) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = make(map[string]float64)
+	types = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if _, dup := types[fields[2]]; dup {
+				t.Fatalf("metric %s declared twice", fields[2])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "<name>[{labels}] <value>"
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		key, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("unparsable value in %q: %v", line, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			name = key[:i]
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("malformed labels in %q", line)
+			}
+		}
+		if !promNameRe.MatchString(name) {
+			t.Fatalf("invalid metric name %q in %q", name, line)
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+// TestPrometheusParseBack renders a preregistered registry and re-parses
+// the exposition, asserting every cataloged metric appears exactly once
+// under a valid name and the histogram series are internally consistent.
+func TestPrometheusParseBack(t *testing.T) {
+	g := goldenRegistry()
+	snap := g.Snapshot()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseExposition(t, buf.String())
+
+	for _, name := range CounterNames() {
+		pn := promName(name) + "_total"
+		if types[pn] != "counter" {
+			t.Errorf("counter %s: TYPE is %q, want counter", pn, types[pn])
+		}
+		v, ok := samples[pn]
+		if !ok {
+			t.Errorf("counter %s missing from exposition", pn)
+			continue
+		}
+		if want := float64(snap.Counters[name]); v != want {
+			t.Errorf("counter %s = %g, want %g", pn, v, want)
+		}
+	}
+	for _, name := range HistogramNames() {
+		pn := promName(name)
+		if types[pn] != "histogram" {
+			t.Errorf("histogram %s: TYPE is %q, want histogram", pn, types[pn])
+		}
+		count, ok := samples[pn+"_count"]
+		if !ok {
+			t.Errorf("histogram %s has no _count", pn)
+			continue
+		}
+		if _, ok := samples[pn+"_sum"]; !ok {
+			t.Errorf("histogram %s has no _sum", pn)
+		}
+		inf, ok := samples[pn+`_bucket{le="+Inf"}`]
+		if !ok {
+			t.Errorf("histogram %s has no +Inf bucket", pn)
+		} else if inf != count {
+			t.Errorf("histogram %s: +Inf bucket %g != count %g", pn, inf, count)
+		}
+		// Cumulative buckets must be non-decreasing in le order.
+		type bkt struct{ le, cum float64 }
+		var buckets []bkt
+		prefix := pn + `_bucket{le="`
+		for key, v := range samples {
+			if !strings.HasPrefix(key, prefix) || strings.HasSuffix(key, `le="+Inf"}`) {
+				continue
+			}
+			leText := strings.TrimSuffix(strings.TrimPrefix(key, prefix), `"}`)
+			le, err := strconv.ParseFloat(leText, 64)
+			if err != nil {
+				t.Fatalf("histogram %s: unparsable le %q", pn, leText)
+			}
+			buckets = append(buckets, bkt{le, v})
+		}
+		for i := range buckets {
+			for j := range buckets {
+				if buckets[i].le < buckets[j].le && buckets[i].cum > buckets[j].cum {
+					t.Errorf("histogram %s: cumulative counts decrease from le=%g (%g) to le=%g (%g)",
+						pn, buckets[i].le, buckets[i].cum, buckets[j].le, buckets[j].cum)
+				}
+			}
+		}
+	}
+
+	// The catalog and the exposition must agree exactly: no extra TYPEs.
+	want := len(CounterNames()) + len(HistogramNames())
+	if len(snap.Timings) != 0 {
+		t.Fatalf("unexpected timings in a preregistered-only registry")
+	}
+	if len(types) != want {
+		t.Errorf("exposition declares %d metrics, catalog has %d", len(types), want)
+	}
+}
+
+func TestPromNameMangling(t *testing.T) {
+	cases := map[string]string{
+		"core.sweep.seconds":  "nontree_core_sweep_seconds",
+		"spice.mna.solves":    "nontree_spice_mna_solves",
+		"weird-name.2nd part": "nontree_weird_name_2nd_part",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if !promNameRe.MatchString(promName(in)) {
+			t.Errorf("promName(%q) is not a valid metric name", in)
+		}
+	}
+}
+
+// TestPrometheusDeterministicOutput pins byte-identical rendering of equal
+// snapshots — the property the /metrics endpoint's cacheability relies on.
+func TestPrometheusDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renderings of equal snapshots differ")
+	}
+}
+
+// TestPrometheusTimings covers the Timings section (wall-clock spans).
+func TestPrometheusTimings(t *testing.T) {
+	g := NewRegistry()
+	sw := StartSpan(g, TimeSweep)
+	sw.End()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, g.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	pn := promName(TimeSweep)
+	text := buf.String()
+	for _, want := range []string{
+		fmt.Sprintf("# TYPE %s histogram", pn),
+		pn + `_bucket{le="+Inf"} 1`,
+		pn + "_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("timings exposition missing %q:\n%s", want, text)
+		}
+	}
+}

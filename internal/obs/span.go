@@ -25,6 +25,7 @@ func StartSpan(r Recorder, name string) Span {
 	if _, nop := r.(Nop); nop {
 		return Span{}
 	}
+	//nontree:allow nondetsource the one sanctioned span clock read; durations land only in the Timings section, which every determinism comparison ignores (DESIGN.md §10)
 	return Span{r: r, name: name, start: time.Now()}
 }
 
@@ -33,6 +34,7 @@ func (s Span) End() {
 	if s.r == nil {
 		return
 	}
+	//nontree:allow nondetsource closes the span clock read above; feeds Timings only (DESIGN.md §10)
 	s.r.ObserveDuration(s.name, time.Since(s.start).Seconds())
 }
 
@@ -41,6 +43,8 @@ func (s Span) End() {
 // than through a Recorder. The value must only ever feed reporting, never
 // an algorithmic decision.
 func Stopwatch() func() float64 {
+	//nontree:allow nondetsource harness stopwatch; readings are reporting-only by contract (doc comment above)
 	start := time.Now()
+	//nontree:allow nondetsource harness stopwatch readout; reporting-only by contract
 	return func() float64 { return time.Since(start).Seconds() }
 }

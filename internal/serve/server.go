@@ -1,0 +1,332 @@
+// Package serve implements the nontree-serve daemon: a small HTTP server
+// exposing the routing algorithms (POST /route), live Prometheus metrics
+// (GET /metrics), health (GET /healthz), retained execution traces
+// (GET /traces/<id>), and the standard pprof profiling endpoints.
+//
+// The daemon is an introspection surface over the deterministic library:
+// every /route reply carries a trace id whose JSONL export replays to the
+// exact decision sequence of the run (DESIGN.md §11), so a production
+// routing can be re-derived and diffed offline with cmd/tracereplay.
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nontree/internal/netlist"
+	"nontree/internal/obs"
+	"nontree/internal/trace"
+)
+
+// Server-side observability counters, exposed through /metrics alongside
+// the algorithm catalog.
+const (
+	// CtrRouteRequests counts /route requests accepted for routing.
+	CtrRouteRequests = "serve.route.requests"
+	// CtrRouteErrors counts /route requests that failed (bad input or
+	// routing error).
+	CtrRouteErrors = "serve.route.errors"
+	// CtrRouteRejected counts /route requests shed by the concurrency
+	// limiter or refused while draining.
+	CtrRouteRejected = "serve.route.rejected"
+	// CtrTraceEvictions counts traces evicted from the retention window.
+	CtrTraceEvictions = "serve.traces.evictions"
+	// TimeRouteSeconds is the wall-clock /route handling distribution.
+	TimeRouteSeconds = "serve.route.seconds"
+)
+
+// Options tunes a Server. The zero value is fully usable.
+type Options struct {
+	// MaxConcurrent bounds simultaneously executing /route requests;
+	// excess requests are shed with 429 (0 = 2×GOMAXPROCS).
+	MaxConcurrent int
+	// TraceCapacity is the per-request trace ring size (0 = 1<<16).
+	TraceCapacity int
+	// MaxTraces bounds retained traces; the oldest is evicted first
+	// (0 = 64).
+	MaxTraces int
+	// MaxBodyBytes bounds the /route request body (0 = 1 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds /route handling wall-clock time (0 = 60s).
+	RequestTimeout time.Duration
+	// Metrics receives server and algorithm metrics (nil = a fresh
+	// preregistered registry).
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.TraceCapacity <= 0 {
+		o.TraceCapacity = 1 << 16
+	}
+	if o.MaxTraces <= 0 {
+		o.MaxTraces = 64
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+		obs.Preregister(o.Metrics)
+	}
+	return o
+}
+
+// Server is the nontree-serve HTTP application state. Create with New,
+// mount Handler on an http.Server, and call BeginDrain before shutdown so
+// load balancers see /healthz flip unhealthy while in-flight requests
+// finish.
+type Server struct {
+	opts     Options
+	metrics  *obs.Registry
+	slots    chan struct{} // concurrency limiter for /route
+	draining atomic.Bool
+	inflight atomic.Int64
+	traceSeq atomic.Uint64
+
+	mu     sync.Mutex
+	traces map[string]*list.Element // trace id → element in order
+	order  *list.List               // front = oldest, back = newest
+}
+
+// storedTrace is one retained trace with its provenance: the exact request
+// that produced it, so tracereplay can re-run the identical workload.
+type storedTrace struct {
+	id      string
+	events  []trace.Event
+	dropped int64
+	req     RouteRequest
+}
+
+// New returns a Server ready to mount.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:    opts,
+		metrics: opts.Metrics,
+		slots:   make(chan struct{}, opts.MaxConcurrent),
+		traces:  make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Metrics exposes the server's registry (for embedding tests and the CLI).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// BeginDrain flips the server unhealthy: /healthz answers 503 and new
+// /route requests are refused, while already-running requests and trace or
+// metrics reads keep working. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Inflight reports currently executing /route requests.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// Handler returns the full route table. The /route endpoint is wrapped in
+// http.TimeoutHandler; reads (/metrics, /healthz, /traces) stay un-timed
+// so they remain responsive under load.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/route", http.TimeoutHandler(
+		http.HandlerFunc(s.handleRoute), s.opts.RequestTimeout,
+		`{"error":"request timed out"}`))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/traces/", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RouteRequest is the /route request body: a net plus routing options.
+type RouteRequest struct {
+	// Net is the signal net to route (pins[0] is the source).
+	Net *netlist.Net `json:"net"`
+	RouteOptions
+}
+
+// RouteResponse is the /route reply.
+type RouteResponse struct {
+	*RouteResult
+	// TraceID retrieves the run's execution trace from /traces/<id> while
+	// it stays within the server's retention window.
+	TraceID string `json:"trace_id"`
+	// TraceEvents and TraceDropped report the ring occupancy: Dropped > 0
+	// means the ring overflowed and the retained trace is a suffix.
+	TraceEvents  int   `json:"trace_events"`
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		s.metrics.Add(CtrRouteRejected, 1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	default:
+		s.metrics.Add(CtrRouteRejected, 1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "concurrency limit reached")
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	var req RouteRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.Add(CtrRouteErrors, 1)
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Net == nil {
+		s.metrics.Add(CtrRouteErrors, 1)
+		writeError(w, http.StatusBadRequest, "missing net")
+		return
+	}
+
+	s.metrics.Add(CtrRouteRequests, 1)
+	span := obs.StartSpan(s.metrics, TimeRouteSeconds)
+	ring := trace.NewRing(s.opts.TraceCapacity)
+	res, err := Run(req.Net, req.RouteOptions, s.metrics, ring)
+	span.End()
+	if err != nil {
+		s.metrics.Add(CtrRouteErrors, 1)
+		writeError(w, http.StatusUnprocessableEntity, "routing failed: %v", err)
+		return
+	}
+
+	st := &storedTrace{
+		id:      fmt.Sprintf("t%06d", s.traceSeq.Add(1)),
+		events:  ring.Events(),
+		dropped: ring.Dropped(),
+		req:     req,
+	}
+	s.storeTrace(st)
+
+	writeJSON(w, http.StatusOK, RouteResponse{
+		RouteResult:  res,
+		TraceID:      st.id,
+		TraceEvents:  len(st.events),
+		TraceDropped: st.dropped,
+	})
+}
+
+func (s *Server) storeTrace(st *storedTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traces[st.id] = s.order.PushBack(st)
+	for s.order.Len() > s.opts.MaxTraces {
+		oldest := s.order.Remove(s.order.Front()).(*storedTrace)
+		delete(s.traces, oldest.id)
+		s.metrics.Add(CtrTraceEvictions, 1)
+	}
+}
+
+func (s *Server) lookupTrace(id string) *storedTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.traces[id]
+	if !ok {
+		return nil
+	}
+	// A fetch refreshes retention: the traces being inspected stay around.
+	s.order.MoveToBack(el)
+	return el.Value.(*storedTrace)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/traces/")
+	if id == "" || strings.ContainsRune(id, '/') {
+		writeError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	st := s.lookupTrace(id)
+	if st == nil {
+		writeError(w, http.StatusNotFound, "trace %q not retained", id)
+		return
+	}
+	if r.URL.Query().Get("request") == "1" {
+		// The provenance view: the exact request that produced the trace,
+		// ready to feed back into tracereplay -request.
+		writeJSON(w, http.StatusOK, st.req)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Trace-Dropped", fmt.Sprintf("%d", st.dropped))
+	if err := trace.WriteJSONL(w, st.events); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheus(w, s.metrics.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, struct {
+		Status   string `json:"status"`
+		Inflight int64  `json:"inflight"`
+	}{state, s.inflight.Load()})
+}

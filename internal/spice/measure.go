@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"nontree/internal/obs"
+	"nontree/internal/trace"
 )
 
 // MeasureOpts configures threshold-delay extraction.
@@ -39,6 +40,10 @@ type MeasureOpts struct {
 	// counts (nil = discard). All counters are deterministic functions of
 	// the circuit and options (DESIGN.md §10).
 	Obs obs.Recorder
+	// Trace emits one oracle_eval event per MeasureDelays call (nil =
+	// discard): Oracle "spice", N the number of circuit nodes. Event order
+	// is deterministic only when measurements run from one goroutine.
+	Trace trace.Tracer
 }
 
 // DefaultMeasureOpts returns the options used throughout the experiment
@@ -72,6 +77,8 @@ func MeasureDelays(c *Circuit, watch []int, opts MeasureOpts) ([]float64, error)
 	}
 	rec := obs.OrNop(opts.Obs)
 	rec.Add(obs.CtrMeasureRuns, 1)
+	trace.OrNop(opts.Trace).Emit(trace.Event{Kind: trace.KindOracleEval,
+		Oracle: "spice", N: int64(c.NumNodes())})
 
 	final, err := FinalValue(c, math.MaxFloat64)
 	if err != nil {

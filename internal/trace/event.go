@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Event kinds. Each kind populates a documented subset of Event's fields;
+// unused fields stay at their zero value and are omitted from the
+// canonical encoding.
+const (
+	// KindSweepStart opens one greedy sweep: Sweep numbers it (1-based),
+	// N is the candidate count, Tap marks tap sweeps. Wire-widening
+	// sweeps are recognizable by their candidate events, which carry the
+	// proposed widths.
+	KindSweepStart = "sweep_start"
+	// KindCandidateScored reports one candidate's objective: Sweep and
+	// Index locate it, U/V name the edge (for taps, the split edge with
+	// Tap set and X/Y the tap point; for widenings, Width the proposed
+	// width), Value is the objective with the candidate applied.
+	KindCandidateScored = "candidate_scored"
+	// KindEdgeAccepted commits a topology modification: U/V the edge
+	// (for taps, the new source wire with Tap set and X/Y the tap point),
+	// Before/After bracket the objective.
+	KindEdgeAccepted = "edge_accepted"
+	// KindEdgeRejected explains a non-acceptance: the best candidate of a
+	// sweep that improved nothing (Reason "no_improvement"), or an edge
+	// tried and reverted (Reason "reverted"). U/V name the edge, Value
+	// its objective, Before the objective it failed to beat.
+	KindEdgeRejected = "edge_rejected"
+	// KindOracleEval reports one delay-oracle evaluation: Oracle names
+	// the model, N the topology's node count. Emitted by oracle
+	// implementations; deterministic order only in sequential contexts
+	// (see the package comment and DESIGN.md §11).
+	KindOracleEval = "oracle_eval"
+	// KindWireSizeStep commits one accepted widening: U/V the edge,
+	// Width the new width, Before/After the objective change.
+	KindWireSizeStep = "wiresize_step"
+)
+
+// Rejection reasons for KindEdgeRejected.
+const (
+	// ReasonNoImprovement marks a sweep whose best candidate did not beat
+	// the improvement threshold; the event carries that best candidate.
+	ReasonNoImprovement = "no_improvement"
+	// ReasonReverted marks an edge that was added, measured, and removed
+	// again because the objective did not improve (H1's probe step).
+	ReasonReverted = "reverted"
+)
+
+// Event is one execution-trace record. All fields except Elapsed are
+// deterministic: for a fixed seed they are byte-identical in the canonical
+// encoding at any Options.Workers value. Elapsed is wall-clock seconds
+// since the tracer started and is excluded by Deterministic.
+type Event struct {
+	// Seq is the stable event ID, assigned by the tracer in emission
+	// order starting at 1. Emission order is deterministic, so Seq is too.
+	Seq int64
+	// Kind is one of the Kind constants.
+	Kind string
+	// Sweep numbers the greedy sweep the event belongs to (1-based).
+	Sweep int
+	// Index is the candidate's position in its sweep's canonical order.
+	Index int
+	// U and V are the edge's endpoints (canonical order U < V).
+	U, V int
+	// Tap marks tap-sweep events; X and Y then locate the tap point (µm).
+	Tap  bool
+	X, Y float64
+	// Width is a wire width (proposed for candidates, committed for
+	// wiresize steps).
+	Width int
+	// N is a kind-dependent count: candidates in a sweep, nodes in an
+	// oracle evaluation.
+	N int64
+	// Value is the candidate's objective score (seconds).
+	Value float64
+	// Before and After bracket an accepted modification's objective.
+	Before, After float64
+	// Oracle names the delay model of an oracle_eval event.
+	Oracle string
+	// Reason is one of the Reason constants on edge_rejected events.
+	Reason string
+	// Elapsed is wall-clock seconds since the tracer started — the one
+	// nondeterministic field, excluded from every determinism comparison.
+	Elapsed float64
+}
+
+// Deterministic returns the event with its nondeterministic field
+// (Elapsed) cleared — the projection every byte-identity guarantee and
+// the replay differ operate on.
+func (e Event) Deterministic() Event {
+	e.Elapsed = 0
+	return e
+}
+
+// jsonEvent is the wire form of Event: floats are hex-literal strings so
+// the encoding is bit-exact, and every zero-valued field is omitted so
+// decode→encode reproduces the input bytes.
+type jsonEvent struct {
+	Seq     int64  `json:"seq"`
+	Kind    string `json:"kind"`
+	Sweep   int    `json:"sweep,omitempty"`
+	Index   int    `json:"index,omitempty"`
+	U       int    `json:"u,omitempty"`
+	V       int    `json:"v,omitempty"`
+	Tap     bool   `json:"tap,omitempty"`
+	X       string `json:"x,omitempty"`
+	Y       string `json:"y,omitempty"`
+	Width   int    `json:"width,omitempty"`
+	N       int64  `json:"n,omitempty"`
+	Value   string `json:"value,omitempty"`
+	Before  string `json:"before,omitempty"`
+	After   string `json:"after,omitempty"`
+	Oracle  string `json:"oracle,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	Elapsed string `json:"elapsed,omitempty"`
+}
+
+// formatFloat renders a float as a hex literal ("0x1.8p+01"), the exact,
+// locale-free form strconv.ParseFloat reads back bit-identically. The
+// zero bit pattern renders as "" (the field is then omitted); NaNs are
+// canonicalized — traces never carry NaN payloads.
+func formatFloat(v float64) string {
+	if math.Float64bits(v) == 0 {
+		return ""
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+// canonString maps a string to the canonical form the JSON layer
+// preserves: invalid UTF-8 is replaced by U+FFFD up front, so the first
+// encoding already carries the bytes every later decode→encode cycle
+// reproduces. Kind, Oracle and Reason are fixed constants in practice,
+// making this a no-op on real traces.
+func canonString(s string) string {
+	return strings.ToValidUTF8(s, "�")
+}
+
+func parseFloat(s, field string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: field %q: %w", field, err)
+	}
+	return v, nil
+}
+
+// Encode renders the event as one canonical JSON line (no trailing
+// newline). The encoding is a pure function of the event: fixed key
+// order, hex-literal floats, zero-valued fields omitted — so two equal
+// events encode to identical bytes and Decode(Encode(e)) round-trips
+// every field bit-exactly (NaN payloads are canonicalized, and invalid
+// UTF-8 in string fields is replaced by U+FFFD up front).
+func (e Event) Encode() []byte {
+	je := jsonEvent{
+		Seq:     e.Seq,
+		Kind:    canonString(e.Kind),
+		Sweep:   e.Sweep,
+		Index:   e.Index,
+		U:       e.U,
+		V:       e.V,
+		Tap:     e.Tap,
+		X:       formatFloat(e.X),
+		Y:       formatFloat(e.Y),
+		Width:   e.Width,
+		N:       e.N,
+		Value:   formatFloat(e.Value),
+		Before:  formatFloat(e.Before),
+		After:   formatFloat(e.After),
+		Oracle:  canonString(e.Oracle),
+		Reason:  canonString(e.Reason),
+		Elapsed: formatFloat(e.Elapsed),
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(je); err != nil {
+		// A struct of ints and strings cannot fail to marshal.
+		panic(fmt.Sprintf("trace: encoding event: %v", err))
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n")
+}
+
+// DecodeEvent parses one canonical JSON line. Unknown keys are rejected:
+// a trace that decodes is guaranteed to re-encode byte-identically.
+func DecodeEvent(line []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var je jsonEvent
+	if err := dec.Decode(&je); err != nil {
+		return Event{}, fmt.Errorf("trace: decoding event: %w", err)
+	}
+	e := Event{
+		Seq:    je.Seq,
+		Kind:   je.Kind,
+		Sweep:  je.Sweep,
+		Index:  je.Index,
+		U:      je.U,
+		V:      je.V,
+		Tap:    je.Tap,
+		Width:  je.Width,
+		N:      je.N,
+		Oracle: je.Oracle,
+		Reason: je.Reason,
+	}
+	var err error
+	if e.X, err = parseFloat(je.X, "x"); err != nil {
+		return Event{}, err
+	}
+	if e.Y, err = parseFloat(je.Y, "y"); err != nil {
+		return Event{}, err
+	}
+	if e.Value, err = parseFloat(je.Value, "value"); err != nil {
+		return Event{}, err
+	}
+	if e.Before, err = parseFloat(je.Before, "before"); err != nil {
+		return Event{}, err
+	}
+	if e.After, err = parseFloat(je.After, "after"); err != nil {
+		return Event{}, err
+	}
+	if e.Elapsed, err = parseFloat(je.Elapsed, "elapsed"); err != nil {
+		return Event{}, err
+	}
+	return e, nil
+}
+
+// WriteJSONL writes the events as canonical JSONL, one event per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := bw.Write(e.Encode()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a canonical JSONL trace. Blank lines are skipped so
+// hand-edited fixtures stay readable.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		e, err := DecodeEvent(b)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	return events, nil
+}
+
+// Fingerprint renders the deterministic projection of the events as
+// canonical JSONL. Two runs with identical decisions produce byte-
+// identical fingerprints at any worker count — the trace analogue of
+// obs.Snapshot.Fingerprint.
+func Fingerprint(events []Event) string {
+	var buf bytes.Buffer
+	for _, e := range events {
+		buf.Write(e.Deterministic().Encode())
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}

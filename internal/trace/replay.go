@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trace replay: re-derive the decision sequence recorded in a trace and
+// diff it against a second trace of the same workload. A clean diff means
+// the two runs made byte-identical decisions (modulo wall-clock timing);
+// drift indicates nondeterminism, a code change, or a corrupted trace —
+// the drift-detection contract DESIGN.md §11 describes.
+
+// AcceptedEdge is one topology modification re-derived from a trace.
+type AcceptedEdge struct {
+	// U and V are the committed edge's endpoints.
+	U, V int
+	// Tap marks a mid-edge tap commit; X and Y then locate the tap point.
+	Tap  bool
+	X, Y float64
+	// After is the objective value the commit achieved.
+	After float64
+}
+
+// AcceptedEdges re-derives the accepted-edge sequence from a trace: one
+// entry per edge_accepted event, in acceptance order.
+func AcceptedEdges(events []Event) []AcceptedEdge {
+	var out []AcceptedEdge
+	for _, e := range events {
+		if e.Kind != KindEdgeAccepted {
+			continue
+		}
+		out = append(out, AcceptedEdge{U: e.U, V: e.V, Tap: e.Tap, X: e.X, Y: e.Y, After: e.After})
+	}
+	return out
+}
+
+// Drift is one divergence between two traces.
+type Drift struct {
+	// Index is the event position at which the traces diverge (0-based);
+	// len(shorter trace) when one trace is a prefix of the other.
+	Index int
+	// Got and Want are the canonical deterministic encodings at Index
+	// ("" for the trace that ended early).
+	Got, Want string
+}
+
+// String renders the drift for diagnostics.
+func (d Drift) String() string {
+	switch {
+	case d.Got == "":
+		return fmt.Sprintf("event %d: trace ended early; want %s", d.Index, d.Want)
+	case d.Want == "":
+		return fmt.Sprintf("event %d: unexpected extra event %s", d.Index, d.Got)
+	default:
+		return fmt.Sprintf("event %d:\n  got  %s\n  want %s", d.Index, d.Got, d.Want)
+	}
+}
+
+// maxDrifts bounds Diff's report: after this many divergences the
+// remaining events are summarized as a single length drift, keeping
+// pathological diffs readable.
+const maxDrifts = 20
+
+// Diff compares the deterministic projections of two traces event by
+// event and returns the divergences, empty when the traces agree. Seq is
+// part of the comparison — a dropped or duplicated event shifts every
+// later sequence number and is reported at its first occurrence.
+func Diff(got, want []Event) []Drift {
+	var drifts []Drift
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		g := string(got[i].Deterministic().Encode())
+		w := string(want[i].Deterministic().Encode())
+		if g != w {
+			drifts = append(drifts, Drift{Index: i, Got: g, Want: w})
+			if len(drifts) >= maxDrifts {
+				return drifts
+			}
+		}
+	}
+	for i := n; i < len(got); i++ {
+		drifts = append(drifts, Drift{Index: i, Got: string(got[i].Deterministic().Encode())})
+		if len(drifts) >= maxDrifts {
+			return drifts
+		}
+	}
+	for i := n; i < len(want); i++ {
+		drifts = append(drifts, Drift{Index: i, Want: string(want[i].Deterministic().Encode())})
+		if len(drifts) >= maxDrifts {
+			return drifts
+		}
+	}
+	return drifts
+}
+
+// FormatDrifts renders a drift list for human consumption, one drift per
+// paragraph; "" when the list is empty.
+func FormatDrifts(drifts []Drift) string {
+	if len(drifts) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d drift(s):\n", len(drifts))
+	for _, d := range drifts {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// This file is the only place in package trace that reads the wall clock
+// (mirroring obs/span.go): Ring stamps each event's Elapsed field at Emit.
+// Elapsed is the trace's sole nondeterministic field; Event.Deterministic
+// drops it, and every byte-identity guarantee is stated over that
+// projection, so the clock can never influence an algorithm decision.
+
+// DefaultRingCapacity is the event capacity NewRing uses for capacity <= 0
+// — ample for the paper-scale nets (a 30-pin LDRG run emits a few
+// thousand events) while bounding a long-lived daemon's memory.
+const DefaultRingCapacity = 4096
+
+// Ring is the standard Tracer: a bounded ring buffer keeping the most
+// recent events. Emission assigns monotonically increasing sequence
+// numbers, so even after wraparound the retained tail reports how much
+// history it lost (Dropped). Safe for concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int // index of the oldest retained event
+	size    int
+	seq     int64
+	dropped int64
+	start   time.Time
+}
+
+// NewRing returns a tracer retaining the last capacity events
+// (DefaultRingCapacity when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{
+		buf: make([]Event, 0, capacity),
+		//nontree:allow nondetsource trace timing baseline only; Elapsed is stamped into the sole nondeterministic event field, which Event.Deterministic excludes from every comparison (DESIGN.md §11)
+		start: time.Now(),
+	}
+}
+
+// Emit implements Tracer: assigns the next sequence number, stamps the
+// wall-clock offset, and appends the event, evicting the oldest when full.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.Seq = r.seq
+	//nontree:allow nondetsource trace timing field only; lands in Event.Elapsed, outside the deterministic projection (DESIGN.md §11)
+	e.Elapsed = time.Since(r.start).Seconds()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		r.size++
+		return
+	}
+	r.buf[r.head] = e
+	r.head = (r.head + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Events returns the retained events, oldest first. The slice is a copy.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.size)
+	for i := 0; i < r.size; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Dropped returns how many events were evicted by wraparound; zero means
+// Events holds the complete trace.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteJSONL writes the retained events as canonical JSONL.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Events())
+}
+
+// Fingerprint renders the deterministic projection of the retained
+// events; see the package-level Fingerprint.
+func (r *Ring) Fingerprint() string {
+	return Fingerprint(r.Events())
+}

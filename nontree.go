@@ -37,6 +37,7 @@ import (
 	"nontree/internal/rc"
 	"nontree/internal/spice"
 	"nontree/internal/steiner"
+	"nontree/internal/trace"
 )
 
 // Core types re-exported from the implementation packages.
@@ -70,10 +71,29 @@ type (
 	Metrics = obs.Registry
 	// MetricsSnapshot is a frozen view of a Metrics recorder.
 	MetricsSnapshot = obs.Snapshot
+	// Tracer receives structured execution-trace events from algorithm
+	// runs; pass one via Config.Trace. NewTraceRing returns the standard
+	// ring-buffered implementation.
+	Tracer = trace.Tracer
+	// TraceEvent is one execution-trace record (canonical JSONL encoding;
+	// see DESIGN.md §11).
+	TraceEvent = trace.Event
+	// TraceRing is the concrete ring-buffered Tracer; call Events to read
+	// the retained trace and WriteJSONL to export it.
+	TraceRing = trace.Ring
 )
 
 // NewMetrics returns an empty metrics recorder for Config.Obs.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTraceRing returns a ring-buffered tracer for Config.Trace retaining
+// the last capacity events (capacity <= 0 selects a default).
+func NewTraceRing(capacity int) *TraceRing { return trace.NewRing(capacity) }
+
+// TraceFingerprint renders the deterministic projection of a trace as
+// canonical JSONL — byte-identical across runs with identical decisions at
+// any Config.Workers value (DESIGN.md §11).
+func TraceFingerprint(events []TraceEvent) string { return trace.Fingerprint(events) }
 
 // DefaultParams returns the paper's Table 1 technology: 100Ω driver,
 // 0.03Ω/µm, 0.352fF/µm, 492fH/µm wire, 15.3fF sink loads, 1V supply —
@@ -193,6 +213,12 @@ type Config struct {
 	// Counter and histogram sections are deterministic for a fixed seed
 	// at any Workers value; see DESIGN.md §10.
 	Obs Recorder
+	// Trace receives the structured decision trace of the run (nil =
+	// discard): sweep starts, candidate scores, accepted and rejected
+	// edges. Deterministic event fields are byte-identical at any Workers
+	// value; use NewTraceRing to capture and TraceFingerprint to render.
+	// See DESIGN.md §11.
+	Trace Tracer
 }
 
 func (c Config) params() Params {
@@ -203,7 +229,10 @@ func (c Config) params() Params {
 }
 
 func (c Config) coreOptions() core.Options {
-	opts := core.Options{MaxAddedEdges: c.MaxAddedEdges, Workers: c.Workers, Obs: c.Obs}
+	// The tracer is wired into the algorithm layer only, never into the
+	// oracles: oracle-level events come from worker goroutines when
+	// Workers != 1, which would break the byte-identity guarantee.
+	opts := core.Options{MaxAddedEdges: c.MaxAddedEdges, Workers: c.Workers, Obs: c.Obs, Trace: c.Trace}
 	switch c.Oracle {
 	case OracleSpice:
 		opts.Oracle = &core.SpiceOracle{Params: c.params(), Obs: c.Obs}
@@ -300,6 +329,7 @@ func WireSize(t *Topology, maxWidth int, cfg Config) (*WireSizeResult, error) {
 		MaxWidth:  maxWidth,
 		Workers:   cfg.Workers,
 		Obs:       cfg.Obs,
+		Trace:     cfg.Trace,
 	})
 }
 
@@ -311,7 +341,7 @@ func HORG(net *Net, alphas []float64, useSteiner bool, maxWidth int, cfg Config)
 		return nil, err
 	}
 	opts := cfg.coreOptions()
-	return core.HORG(net.Pins, alphas, useSteiner, core.WireSizeOptions{MaxWidth: maxWidth, Workers: cfg.Workers, Obs: cfg.Obs}, opts)
+	return core.HORG(net.Pins, alphas, useSteiner, core.WireSizeOptions{MaxWidth: maxWidth, Workers: cfg.Workers, Obs: cfg.Obs, Trace: cfg.Trace}, opts)
 }
 
 // DelayReport holds measured delays of a topology.
