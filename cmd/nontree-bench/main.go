@@ -55,6 +55,7 @@ func realMain() (retErr error) {
 		outPath    = flag.String("out", "", "write JSON output to this file instead of stdout (implies -json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		regress    = flag.String("regress", "", "with -exp bench: gate the run against this baseline BENCH_*.json (bitwise quality equality + oracle-evaluation budgets); exits non-zero on violation")
 	)
 	flag.Parse()
 
@@ -117,7 +118,10 @@ func realMain() (retErr error) {
 	}
 
 	if *exp == "bench" {
-		return runBench(cfg, *outPath)
+		return runBench(cfg, *outPath, *regress)
+	}
+	if *regress != "" {
+		return fmt.Errorf("-regress only applies to -exp bench")
 	}
 
 	if !*jsonOut {
@@ -130,7 +134,12 @@ func realMain() (retErr error) {
 
 // runBench executes the observability benchmark suite and writes the
 // schema-stable report (the BENCH_PR4.json artifact) to outPath or stdout.
-func runBench(cfg expt.Config, outPath string) error {
+// When regressPath names a baseline artifact, the run is additionally
+// gated: quality fields must match the baseline bitwise and the gated
+// algorithms must stay within their oracle-evaluation budgets
+// (expt.DefaultEvalBudgets). The report is written before the gate is
+// evaluated so a failing run still leaves its artifact for diagnosis.
+func runBench(cfg expt.Config, outPath, regressPath string) error {
 	report, err := expt.BenchSuite(cfg)
 	if err != nil {
 		return err
@@ -140,7 +149,24 @@ func runBench(cfg expt.Config, outPath string) error {
 		"goos":       runtime.GOOS,
 		"goarch":     runtime.GOARCH,
 	}
-	return writeJSON(outPath, report)
+	if err := writeJSON(outPath, report); err != nil {
+		return err
+	}
+	if regressPath == "" {
+		return nil
+	}
+	baseline, err := expt.LoadBenchReport(regressPath)
+	if err != nil {
+		return err
+	}
+	if violations := expt.RegressGate(report, baseline, expt.DefaultEvalBudgets()); len(violations) != 0 {
+		for _, v := range violations {
+			log.Printf("regress: %s", v)
+		}
+		return fmt.Errorf("bench regression gate failed against %s: %d violation(s)", regressPath, len(violations))
+	}
+	log.Printf("regress: gate passed against %s", regressPath)
+	return nil
 }
 
 // writeJSON encodes v with stable indentation to path, or stdout when path

@@ -136,7 +136,7 @@ func TestRunBenchWritesReport(t *testing.T) {
 	cfg.Trials = 1
 	cfg.MeasureWith = expt.OracleElmore
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := runBench(cfg, out); err != nil {
+	if err := runBench(cfg, out, ""); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -152,5 +152,67 @@ func TestRunBenchWritesReport(t *testing.T) {
 	}
 	if report.Environment["go_version"] == "" {
 		t.Error("bench run did not stamp the environment")
+	}
+}
+
+// TestRunBenchRegressGate drives the -regress path end to end. A run
+// cannot gate against its own artifact — the eval budgets demand a
+// fraction of the baseline's work — so the test fabricates a
+// "full-solve era" baseline by inflating the evaluation counts: the gate
+// must pass against it (identical quality, a tenth of the work) and fail
+// once a quality field is perturbed.
+func TestRunBenchRegressGate(t *testing.T) {
+	cfg := expt.Default()
+	cfg.Sizes = []int{5}
+	cfg.Trials = 1
+	cfg.MeasureWith = expt.OracleElmore
+	dir := t.TempDir()
+	self := filepath.Join(dir, "self.json")
+	if err := runBench(cfg, self, ""); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report expt.BenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+
+	writeBaseline := func(name string, mutate func(*expt.BenchReport)) string {
+		var r expt.BenchReport
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&r)
+		data, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	fullEra := writeBaseline("full-era.json", func(r *expt.BenchReport) {
+		for i := range r.Entries {
+			r.Entries[i].OracleEvaluations *= 10
+		}
+	})
+	if err := runBench(cfg, filepath.Join(dir, "rerun.json"), fullEra); err != nil {
+		t.Fatalf("gate against the inflated-evals baseline must pass: %v", err)
+	}
+
+	drifted := writeBaseline("drifted.json", func(r *expt.BenchReport) {
+		for i := range r.Entries {
+			r.Entries[i].OracleEvaluations *= 10
+		}
+		r.Entries[0].FinalDelay *= 1.000001
+	})
+	if err := runBench(cfg, filepath.Join(dir, "rerun2.json"), drifted); err == nil {
+		t.Fatal("gate against a quality-drifted baseline must fail")
 	}
 }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"nontree/internal/steiner"
+	"nontree/internal/trace"
+)
+
+// This file is the equivalence layer locking down incremental scoring:
+// every sweep algorithm, run with the full-solve reference path and with
+// incremental scoring plus pruning, must make byte-identical decisions —
+// same Result fingerprint, same accepted-edge sequence in the trace — at
+// every worker count. Workers is part of the grid even though incremental
+// sweeps scan sequentially: the contract is that Workers NEVER changes
+// decisions, whichever scoring path it ends up steering.
+
+// eqRun is one algorithm invocation under a scoring mode and worker count.
+// It returns the result fingerprint plus the trace's accepted edges.
+type eqRun func(t *testing.T, scoring Scoring, workers int, tr trace.Tracer) string
+
+func acceptedOf(t *testing.T, label string, fn func(tr trace.Tracer) error) []trace.AcceptedEdge {
+	t.Helper()
+	return trace.AcceptedEdges(traceOf(t, label, 1<<16, fn))
+}
+
+// TestScoringEquivalence is the table: each algorithm's ScoringFull
+// Workers=1 run is the reference; ScoringAuto (incremental + pruning) and
+// parallel ScoringFull runs must match it exactly.
+func TestScoringEquivalence(t *testing.T) {
+	topo := randomMST(t, 6001, 12)
+	tapTopo := randomMST(t, 6002, 9)
+	net := randomNet(t, 6003, 10)
+	params := elmoreOracle().Params
+	alphas := UniformCriticality(12)
+
+	algos := []struct {
+		name string
+		run  eqRun
+	}{
+		{"LDRG", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := LDRG(topo, Options{Oracle: elmoreOracle(), Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Fingerprint()
+		}},
+		{"SLDRG", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := SLDRG(net.Pins, steiner.Options{}, Options{Oracle: elmoreOracle(), Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Fingerprint()
+		}},
+		{"LDRGWithTaps", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := LDRGWithTaps(tapTopo, Options{Oracle: elmoreOracle(), Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Fingerprint()
+		}},
+		{"CriticalSinkLDRG", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := CriticalSinkLDRG(topo, alphas, Options{Oracle: elmoreOracle(), Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Fingerprint()
+		}},
+		{"H1", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := H1(topo, Options{Oracle: elmoreOracle(), Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Fingerprint()
+		}},
+		{"H2", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := H2(topo, params, Options{Oracle: elmoreOracle(), Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Fingerprint()
+		}},
+		{"H3", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := H3(topo, params, Options{Oracle: elmoreOracle(), Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Fingerprint()
+		}},
+		{"WireSize", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := WireSize(topo, WireSizeOptions{Oracle: elmoreOracle(), MaxWidth: 3, Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Fingerprint()
+		}},
+		{"WireSizeCostWeighted", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := WireSize(topo, WireSizeOptions{Oracle: elmoreOracle(), MaxWidth: 3, CostWeight: 0.5, Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Fingerprint()
+		}},
+		{"HORG", func(t *testing.T, s Scoring, w int, tr trace.Tracer) string {
+			res, err := HORG(net.Pins, UniformCriticality(len(net.Pins)), true,
+				WireSizeOptions{MaxWidth: 3},
+				Options{Oracle: elmoreOracle(), Scoring: s, Workers: w, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Routing.Fingerprint() + res.Sizing.Fingerprint()
+		}},
+	}
+
+	workerGrid := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, a := range algos {
+		t.Run(a.name, func(t *testing.T) {
+			var refFP string
+			var refAccepted []trace.AcceptedEdge
+			refAccepted = acceptedOf(t, a.name+"/full/w1", func(tr trace.Tracer) error {
+				refFP = a.run(t, ScoringFull, 1, tr)
+				return nil
+			})
+			for _, scoring := range []Scoring{ScoringFull, ScoringAuto} {
+				for _, w := range workerGrid {
+					if scoring == ScoringFull && w == 1 {
+						continue // that is the reference itself
+					}
+					label := fmt.Sprintf("scoring=%d/w%d", scoring, w)
+					var fp string
+					accepted := acceptedOf(t, a.name+"/"+label, func(tr trace.Tracer) error {
+						fp = a.run(t, scoring, w, tr)
+						return nil
+					})
+					if fp != refFP {
+						t.Errorf("%s: fingerprint drifted from full/w1 reference:\ngot:\n%swant:\n%s", label, fp, refFP)
+					}
+					if len(accepted) != len(refAccepted) {
+						t.Fatalf("%s: %d accepted edges in trace, reference %d", label, len(accepted), len(refAccepted))
+					}
+					for i := range accepted {
+						if accepted[i] != refAccepted[i] {
+							t.Errorf("%s: accepted edge %d = %+v, reference %+v", label, i, accepted[i], refAccepted[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScoringEquivalenceEvaluationsDrop pins the point of the whole
+// exercise: the decisions are identical, but the incremental path must do
+// strictly less oracle work — and not marginally less. A 2× floor here is
+// deliberately loose (BENCH gates the real 10×) so the test stays robust
+// on tiny nets.
+func TestScoringEquivalenceEvaluationsDrop(t *testing.T) {
+	topo := randomMST(t, 6004, 14)
+	full, err := LDRG(topo, Options{Oracle: elmoreOracle(), Scoring: ScoringFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := LDRG(topo, Options{Oracle: elmoreOracle(), Scoring: ScoringAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Fingerprint() != full.Fingerprint() {
+		t.Fatalf("scoring modes disagree on decisions:\n%s\nvs\n%s", inc.Fingerprint(), full.Fingerprint())
+	}
+	if inc.Evaluations*2 > full.Evaluations {
+		t.Errorf("incremental path did %d oracle evaluations, full did %d; expected at least a 2x drop",
+			inc.Evaluations, full.Evaluations)
+	}
+}

@@ -39,6 +39,11 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 	res.InitialObjective = cur
 	res.Trace = append(res.Trace, cur)
 
+	eng, err := newSweepEngine(t, opts.Oracle, opts.Width, obj, opts.Scoring, opts.Obs)
+	if err != nil {
+		return nil, err
+	}
+
 	tr := opts.trace()
 	for sweep := 1; ; sweep++ {
 		if opts.MaxAddedEdges > 0 && len(res.AddedEdges) >= opts.MaxAddedEdges {
@@ -55,6 +60,28 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 		// H1 probes exactly one candidate per sweep: the worst sink's
 		// shortcut, tried on the live topology and reverted on failure.
 		tr.Emit(trace.Event{Kind: trace.KindSweepStart, Sweep: sweep, N: 1})
+		if eng != nil {
+			// Pre-screen the probe as a rank-one perturbation: a shortcut
+			// the perturbed model already rejects never touches the full
+			// oracle. Accepted probes still go through the full solve below
+			// (whose delay vector the next iteration needs anyway), so
+			// committed objectives stay identical to the legacy path.
+			probe, err := eng.inc.WithEdge(e)
+			if err != nil {
+				return nil, fmt.Errorf("core: H1 probing %v: %w", e, err)
+			}
+			val, err := obj.Eval(probe, t.NumPins())
+			if err != nil {
+				return nil, err
+			}
+			if val >= cur*(1-opts.minImprovement()) {
+				tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: 0,
+					U: e.U, V: e.V, Value: val})
+				tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
+					U: e.U, V: e.V, Value: val, Before: cur, Reason: trace.ReasonReverted})
+				break
+			}
+		}
 		if err := t.AddEdge(e); err != nil {
 			return nil, fmt.Errorf("core: H1 adding %v: %w", e, err)
 		}
@@ -86,6 +113,9 @@ func H1(seed *graph.Topology, opts Options) (*Result, error) {
 			U: e.U, V: e.V, Before: cur, After: val})
 		cur = val
 		delays = newDelays
+		if err := eng.refactor(); err != nil {
+			return nil, fmt.Errorf("core: H1 refactoring after %v: %w", e, err)
+		}
 	}
 
 	res.FinalObjective = cur

@@ -70,6 +70,9 @@ func HORG(pins []geom.Point, alphas []float64, useSteiner bool, wsOpts WireSizeO
 	if wsOpts.Oracle == nil {
 		wsOpts.Oracle = opts.Oracle
 	}
+	if wsOpts.Scoring == ScoringAuto {
+		wsOpts.Scoring = opts.Scoring
+	}
 	if wsOpts.Workers == 0 {
 		wsOpts.Workers = opts.Workers
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"nontree/internal/graph"
 	"nontree/internal/obs"
@@ -43,8 +45,19 @@ type Options struct {
 	// the winner is chosen by (objective, then canonical edge order), the
 	// same tie-breaking the sequential scan applies. Oracles must be safe
 	// for concurrent SinkDelays calls when Workers != 1 (all oracles in
-	// this package are; see DelayOracle).
+	// this package are; see DelayOracle). Workers only governs full-solve
+	// sweeps: incremental sweeps (see Scoring) are sequential by design
+	// and ignore it.
 	Workers int
+	// Scoring selects how sweeps evaluate candidates: ScoringAuto (the
+	// zero value) scores candidates as rank-one perturbations with
+	// lower-bound pruning whenever the oracle supports it (only
+	// ElmoreOracle does), falling back to per-candidate full solves
+	// otherwise; ScoringFull forces the full-solve path; see the Scoring
+	// constants. Both modes produce byte-identical Results — only
+	// Evaluations (full solves are ~one per sweep instead of one per
+	// candidate) and the trace's candidate-level events differ.
+	Scoring Scoring
 	// Obs receives counters and span timings from the run (nil = discard).
 	// Counters and histograms are deterministic for a fixed seed at any
 	// Workers value; wall-clock timings land in the recorder's Timings
@@ -112,6 +125,43 @@ type Result struct {
 // Improved reports whether the run strictly improved on the seed.
 func (r *Result) Improved() bool { return r.FinalObjective < r.InitialObjective }
 
+// Fingerprint renders the result's decision content in a canonical,
+// bit-exact text form: the accepted edges, the objective trajectory as hex
+// float literals, and the final topology's edge list. Two runs that made
+// identical decisions produce identical fingerprints. Evaluations is
+// deliberately excluded — it measures how hard the oracle worked, not what
+// was decided, and differs between scoring modes by design.
+func (r *Result) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("added=")
+	for i, e := range r.AddedEdges {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d-%d", e.U, e.V)
+	}
+	fmt.Fprintf(&b, "\ninitial=%s\nfinal=%s\ntrace=",
+		strconv.FormatFloat(r.InitialObjective, 'x', -1, 64),
+		strconv.FormatFloat(r.FinalObjective, 'x', -1, 64))
+	for i, v := range r.Trace {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+	}
+	b.WriteString("\nedges=")
+	if r.Topology != nil {
+		for i, e := range r.Topology.Edges() {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d-%d", e.U, e.V)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
 // errors from algorithm entry points.
 var (
 	ErrNilOracle   = errors.New("core: Options.Oracle must not be nil")
@@ -140,11 +190,16 @@ func LDRG(seed *graph.Topology, opts Options) (*Result, error) {
 	res.InitialObjective = cur
 	res.Trace = append(res.Trace, cur)
 
+	eng, err := newSweepEngine(t, opts.Oracle, opts.Width, obj, opts.Scoring, opts.Obs)
+	if err != nil {
+		return nil, err
+	}
+
 	for sweep := 1; ; sweep++ {
 		if opts.MaxAddedEdges > 0 && len(res.AddedEdges) >= opts.MaxAddedEdges {
 			break
 		}
-		bestEdge, bestVal, found, err := bestAddition(t, &opts, obj, cur, res, sweep)
+		bestEdge, bestVal, found, err := bestAddition(t, &opts, obj, cur, res, sweep, eng)
 		if err != nil {
 			return nil, err
 		}
@@ -153,6 +208,9 @@ func LDRG(seed *graph.Topology, opts Options) (*Result, error) {
 		}
 		if err := t.AddEdge(bestEdge); err != nil {
 			return nil, fmt.Errorf("core: committing edge %v: %w", bestEdge, err)
+		}
+		if err := eng.refactor(); err != nil {
+			return nil, fmt.Errorf("core: refactoring after edge %v: %w", bestEdge, err)
 		}
 		res.AddedEdges = append(res.AddedEdges, bestEdge)
 		res.Trace = append(res.Trace, bestVal)
@@ -187,10 +245,12 @@ func candidateEdges(t *graph.Topology, opts *Options) []graph.Edge {
 }
 
 // bestAddition scans every absent edge, returning the one with the lowest
-// objective if it beats cur by the improvement threshold. With Workers != 1
-// the scan fans out over a worker pool (see parallel.go); the reducer keeps
-// the sequential scan's selection rule so results are identical either way.
-func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, sweep int) (graph.Edge, float64, bool, error) {
+// objective if it beats cur by the improvement threshold. With a non-nil
+// engine the scan scores candidates incrementally (sequential, pruned; see
+// incremental.go); otherwise with Workers != 1 it fans out over a worker
+// pool (see parallel.go). All paths keep the sequential scan's selection
+// rule so results are identical.
+func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, sweep int, eng *sweepEngine) (graph.Edge, float64, bool, error) {
 	cands := candidateEdges(t, opts)
 	rec := opts.obs()
 	rec.Add(obs.CtrSweeps, 1)
@@ -200,6 +260,9 @@ func bestAddition(t *graph.Topology, opts *Options, obj Objective, cur float64, 
 	tr.Emit(trace.Event{Kind: trace.KindSweepStart, Sweep: sweep, N: int64(len(cands))})
 	span := obs.StartSpan(rec, obs.TimeSweep)
 	defer span.End()
+	if eng != nil {
+		return bestAdditionIncremental(t, opts, obj, cur, res, cands, sweep, eng)
+	}
 	if w := opts.workers(); w > 1 && len(cands) > 1 {
 		return bestAdditionParallel(t, opts, obj, cur, res, cands, sweep)
 	}

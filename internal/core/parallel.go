@@ -21,6 +21,15 @@
 //     order (see elmore.FactorConductance, rc.BuildCircuit).
 //  3. Non-racy accounting: workers count oracle invocations locally;
 //     the counts are summed into Result.Evaluations after the pool joins.
+//  4. Incremental sweeps don't parallelize: when the oracle supports
+//     incremental scoring (Options.Scoring, incremental.go), the sweep
+//     scans sequentially regardless of Workers. The incremental evaluator
+//     is stateful (per-epoch column caches), so per-worker evaluators
+//     would make cache hit/miss counters depend on goroutine scheduling,
+//     breaking the obs determinism contract — and a rank-one update is so
+//     much cheaper than a solve that fan-out would buy little. Workers
+//     therefore only governs full-solve sweeps (ScoringFull, or oracles
+//     without incremental support such as the SPICE reference).
 package core
 
 import (

@@ -36,17 +36,22 @@ func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
 	res.InitialObjective = cur
 	res.Trace = append(res.Trace, cur)
 
+	eng, err := newSweepEngine(t, opts.Oracle, opts.Width, obj, opts.Scoring, opts.Obs)
+	if err != nil {
+		return nil, err
+	}
+
 	for sweep := 1; ; sweep++ {
 		if opts.MaxAddedEdges > 0 && len(res.AddedEdges) >= opts.MaxAddedEdges {
 			break
 		}
 		// Plain edge candidates.
-		bestEdge, bestVal, foundEdge, err := bestAddition(t, &opts, obj, cur, res, sweep)
+		bestEdge, bestVal, foundEdge, err := bestAddition(t, &opts, obj, cur, res, sweep, eng)
 		if err != nil {
 			return nil, err
 		}
 		// Tap candidates.
-		tapEdge, tapPoint, tapVal, foundTap, err := bestTap(t, &opts, obj, cur, res, sweep)
+		tapEdge, tapPoint, tapVal, foundTap, err := bestTap(t, &opts, obj, cur, res, sweep, eng)
 		if err != nil {
 			return nil, err
 		}
@@ -56,6 +61,9 @@ func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
 			added, err := applyTap(t, tapEdge, tapPoint)
 			if err != nil {
 				return nil, err
+			}
+			if err := eng.refactor(); err != nil {
+				return nil, fmt.Errorf("core: refactoring after tap %v: %w", added, err)
 			}
 			res.AddedEdges = append(res.AddedEdges, added)
 			res.Trace = append(res.Trace, tapVal)
@@ -68,6 +76,9 @@ func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
 		case foundEdge:
 			if err := t.AddEdge(bestEdge); err != nil {
 				return nil, fmt.Errorf("core: committing edge %v: %w", bestEdge, err)
+			}
+			if err := eng.refactor(); err != nil {
+				return nil, fmt.Errorf("core: refactoring after edge %v: %w", bestEdge, err)
 			}
 			res.AddedEdges = append(res.AddedEdges, bestEdge)
 			res.Trace = append(res.Trace, bestVal)
@@ -123,12 +134,18 @@ func tapCandidates(t *graph.Topology) []tapCandidate {
 }
 
 // bestTap evaluates every tap candidate, returning the best improving one.
-// With Workers != 1 the sweep fans out over the worker pool (parallel.go).
-func bestTap(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, sweep int) (graph.Edge, geom.Point, float64, bool, error) {
+// With a non-nil engine candidates are scored as rank-3 perturbations
+// (sequential; the winner is re-scored through the full path, see
+// incremental.go); otherwise with Workers != 1 the sweep fans out over the
+// worker pool (parallel.go).
+func bestTap(t *graph.Topology, opts *Options, obj Objective, cur float64, res *Result, sweep int, eng *sweepEngine) (graph.Edge, geom.Point, float64, bool, error) {
 	cands := tapCandidates(t)
 	opts.obs().Add(obs.CtrTapCandidates, int64(len(cands)))
 	tr := opts.trace()
 	tr.Emit(trace.Event{Kind: trace.KindSweepStart, Sweep: sweep, Tap: true, N: int64(len(cands))})
+	if eng != nil {
+		return bestTapIncremental(t, opts, obj, cur, res, cands, sweep, eng)
+	}
 	if w := opts.workers(); w > 1 && len(cands) > 1 {
 		return bestTapParallel(t, opts, obj, cur, res, cands, sweep)
 	}

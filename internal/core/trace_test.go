@@ -139,7 +139,9 @@ func TestTraceEventShape(t *testing.T) {
 				t.Fatalf("sweep numbering jumped from %d to %d", sweep, e.Sweep)
 			}
 			sweep, wantIdx = e.Sweep, 0
-		case trace.KindCandidateScored:
+		case trace.KindCandidateScored, trace.KindCandidatePruned:
+			// Pruned candidates consume an index exactly like scored ones,
+			// so the per-sweep index sequence stays gapless either way.
 			if e.Sweep != sweep || e.Index != wantIdx {
 				t.Fatalf("candidate out of order in sweep %d: %+v (want index %d)", sweep, e, wantIdx)
 			}

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
+	"strings"
 
 	"nontree/internal/graph"
 	"nontree/internal/obs"
@@ -31,8 +34,15 @@ type WireSizeOptions struct {
 	// Workers bounds the goroutines evaluating widening candidates
 	// concurrently (0 = one per CPU, 1 = sequential). Like the edge
 	// sweeps, results are byte-identical for any value; the oracle must
-	// be safe for concurrent SinkDelays calls when Workers != 1.
+	// be safe for concurrent SinkDelays calls when Workers != 1. Only
+	// full-solve sweeps parallelize; incremental sweeps (see Scoring)
+	// are sequential by design.
 	Workers int
+	// Scoring selects the candidate evaluation path, exactly like
+	// Options.Scoring: incremental rank-one scoring with threshold
+	// pruning when the oracle supports it (ScoringAuto, the default), or
+	// the legacy full-solve path (ScoringFull).
+	Scoring Scoring
 	// Obs receives counters and span timings (nil = discard); same
 	// determinism contract as Options.Obs.
 	Obs obs.Recorder
@@ -52,6 +62,37 @@ type WireSizeResult struct {
 	Widenings int
 	// Evaluations counts oracle invocations.
 	Evaluations int
+}
+
+// Fingerprint renders the sizing decisions in a canonical, bit-exact text
+// form: the width map in canonical edge order, the bracketing objectives as
+// hex float literals, and the widening count. Evaluations is excluded for
+// the same reason as in Result.Fingerprint — scoring modes differ in effort
+// by design, never in decisions.
+func (r *WireSizeResult) Fingerprint() string {
+	edges := make([]graph.Edge, 0, len(r.Widths))
+	for e := range r.Widths {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	var b strings.Builder
+	b.WriteString("widths=")
+	for i, e := range edges {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d-%d:%d", e.U, e.V, r.Widths[e])
+	}
+	fmt.Fprintf(&b, "\ninitial=%s\nfinal=%s\nwidenings=%d\n",
+		strconv.FormatFloat(r.InitialObjective, 'x', -1, 64),
+		strconv.FormatFloat(r.FinalObjective, 'x', -1, 64),
+		r.Widenings)
+	return b.String()
 }
 
 // WidthFunc converts the integer width assignment into the rc.WidthFunc
@@ -123,6 +164,11 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 	}
 	res.InitialObjective = cur
 
+	eng, err := newSweepEngine(t, opts.Oracle, widthFn, obj, opts.Scoring, opts.Obs)
+	if err != nil {
+		return nil, err
+	}
+
 	for sweep := 1; ; sweep++ {
 		// Widening candidates in canonical edge order (fixes tie-breaking).
 		var cands []graph.Edge
@@ -135,12 +181,76 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 		rec.Add(obs.CtrWidenCandidates, int64(len(cands)))
 		tr.Emit(trace.Event{Kind: trace.KindSweepStart, Sweep: sweep, N: int64(len(cands))})
 
-		// The candidate objectives, aligned with cands. The widths map is
+		// The candidate objectives, aligned with cands; scored[i] is false
+		// for candidates the incremental path pruned. The widths map is
 		// read-only during a sweep, so with Workers != 1 each candidate is
 		// scored concurrently under an overlay width function instead of
 		// the sequential bump-eval-revert on the shared map.
 		vals := make([]float64, len(cands))
-		if workers := workerCount(opts.Workers); workers > 1 && len(cands) > 1 {
+		scored := make([]bool, len(cands))
+		minIdx, minVal := -1, math.Inf(1)
+		prunedBest := prunedCandidate{i: -1, lb: math.Inf(1)}
+		if eng != nil {
+			// Incremental scan: rank-one scoring with threshold-only
+			// pruning. Widening selection may rank by gain rate rather
+			// than objective (CostWeight), so the running minimum cannot
+			// tighten the cutoff — but a candidate whose best case misses
+			// the acceptance threshold can never be selected in either
+			// mode. Events are emitted inline; the scan is sequential, so
+			// the order is canonical already.
+			threshold := cur * (1 - minImp)
+			var prunedAll []prunedCandidate
+			for i, e := range cands {
+				if eng.prune {
+					lb := cur - eng.factor*eng.inc.WideningBound(e)
+					if lb >= threshold {
+						rec.Add(obs.CtrCandidatesPruned, 1)
+						tr.Emit(trace.Event{Kind: trace.KindCandidatePruned, Sweep: sweep, Index: i,
+							U: e.U, V: e.V, Width: widths[e] + 1, Value: lb, Before: threshold})
+						if lb < prunedBest.lb {
+							prunedBest = prunedCandidate{i: i, lb: lb}
+						}
+						if eng.debug {
+							prunedAll = append(prunedAll, prunedCandidate{i: i, lb: lb})
+						}
+						continue
+					}
+				}
+				delays, err := eng.inc.WithWiden(e)
+				if err != nil {
+					return nil, fmt.Errorf("core: incremental widening %v: %w", e, err)
+				}
+				val, err := obj.Eval(delays, t.NumPins())
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = val
+				scored[i] = true
+				tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: i,
+					U: e.U, V: e.V, Width: widths[e] + 1, Value: val})
+				if val < minVal {
+					minIdx, minVal = i, val
+				}
+			}
+			for _, p := range prunedAll {
+				delays, err := eng.inc.WithWiden(cands[p.i])
+				if err != nil {
+					return nil, fmt.Errorf("core: debug-scoring pruned widening %v: %w", cands[p.i], err)
+				}
+				val, err := obj.Eval(delays, t.NumPins())
+				if err != nil {
+					return nil, err
+				}
+				if val < p.lb {
+					return nil, fmt.Errorf("%w: sweep %d widening %d %v scored %v below its proved lower bound %v",
+						ErrPruningUnsound, sweep, p.i, cands[p.i], val, p.lb)
+				}
+				if val < threshold {
+					return nil, fmt.Errorf("%w: sweep %d widening %d %v scored %v under threshold %v (bound %v)",
+						ErrPruningUnsound, sweep, p.i, cands[p.i], val, threshold, p.lb)
+				}
+			}
+		} else if workers := workerCount(opts.Workers); workers > 1 && len(cands) > 1 {
 			outcomes, evals := runSweep(t, workers, len(cands), rec, func(i int, clone *graph.Topology) (float64, error) {
 				e := cands[i]
 				overlay := func(x graph.Edge) float64 {
@@ -176,15 +286,18 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 			}
 		}
 
-		// Candidate events in canonical order, emitted from this goroutine
-		// only, after the (possibly parallel) evaluation — the contract
-		// that keeps traces byte-identical at any worker count.
-		minIdx, minVal := -1, math.Inf(1)
-		for i, e := range cands {
-			tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: i,
-				U: e.U, V: e.V, Width: widths[e] + 1, Value: vals[i]})
-			if vals[i] < minVal {
-				minIdx, minVal = i, vals[i]
+		if eng == nil {
+			// Candidate events in canonical order, emitted from this
+			// goroutine only, after the (possibly parallel) evaluation —
+			// the contract that keeps traces byte-identical at any worker
+			// count. (The incremental path emitted inline above.)
+			for i, e := range cands {
+				scored[i] = true
+				tr.Emit(trace.Event{Kind: trace.KindCandidateScored, Sweep: sweep, Index: i,
+					U: e.U, V: e.V, Width: widths[e] + 1, Value: vals[i]})
+				if vals[i] < minVal {
+					minIdx, minVal = i, vals[i]
+				}
 			}
 		}
 
@@ -192,6 +305,9 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 		bestVal := cur
 		bestGainRate := 0.0
 		for i, e := range cands {
+			if !scored[i] {
+				continue
+			}
 			val := vals[i]
 			if val >= cur*(1-minImp) {
 				continue
@@ -215,8 +331,33 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 				tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
 					U: e.U, V: e.V, Width: widths[e] + 1, Value: minVal, Before: cur,
 					Reason: trace.ReasonNoImprovement})
+			} else if prunedBest.i >= 0 {
+				// Every candidate was pruned: the best proved bound
+				// documents why the sweep converged.
+				e := cands[prunedBest.i]
+				tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
+					U: e.U, V: e.V, Width: widths[e] + 1, Value: prunedBest.lb, Before: cur,
+					Reason: trace.ReasonNoImprovement})
 			}
 			break
+		}
+		if eng != nil {
+			// Winner re-solve: the committed objective must come from the
+			// same full-solve arithmetic as the legacy path so results are
+			// byte-identical between scoring modes.
+			widths[bestEdge]++
+			fullVal, err := eval()
+			widths[bestEdge]--
+			if err != nil {
+				return nil, fmt.Errorf("core: WSORG re-scoring %v: %w", bestEdge, err)
+			}
+			if fullVal >= cur*(1-minImp) {
+				tr.Emit(trace.Event{Kind: trace.KindEdgeRejected, Sweep: sweep,
+					U: bestEdge.U, V: bestEdge.V, Width: widths[bestEdge] + 1,
+					Value: fullVal, Before: cur, Reason: trace.ReasonNoImprovement})
+				break
+			}
+			bestVal = fullVal
 		}
 		widths[bestEdge]++
 		res.Widenings++
@@ -225,6 +366,9 @@ func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) 
 			U: bestEdge.U, V: bestEdge.V, Width: widths[bestEdge],
 			Before: cur, After: bestVal})
 		cur = bestVal
+		if err := eng.refactor(); err != nil {
+			return nil, fmt.Errorf("core: refactoring after widening %v: %w", bestEdge, err)
+		}
 	}
 
 	res.FinalObjective = cur

@@ -1,0 +1,131 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark regression gate: compare a freshly generated BenchReport
+// against a committed baseline artifact (BENCH_PR4.json and successors).
+// The gate enforces the two halves of the incremental-scoring contract:
+//
+//  1. Decisions never drift: every quality field of every entry shared
+//     with the baseline — seed/final delay, seed/final wirelength,
+//     accepted count — must be bitwise identical. These fields are
+//     deterministic functions of the configuration seed, so ANY drift
+//     means an algorithm changed its decisions, which a performance
+//     optimization must never do.
+//  2. The optimization actually pays: for the gated algorithms, oracle
+//     evaluations summed over shared entries must not exceed the given
+//     fraction of the baseline's. A regression that quietly reverts to
+//     full solves fails the gate even though all results still match.
+//
+// Entries are matched by (algorithm, size, trial), so a quick CI run with
+// fewer trials gates against the matching prefix of a fuller baseline.
+
+// EvalBudget is one algorithm's allowed oracle-evaluation fraction
+// relative to the baseline.
+type EvalBudget struct {
+	Algorithm string
+	// MaxFraction bounds current/baseline total evaluations over shared
+	// entries (0.25 = current run may use at most a quarter of the
+	// baseline's oracle work).
+	MaxFraction float64
+}
+
+// LoadBenchReport reads a committed BENCH_*.json artifact.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("expt: reading baseline: %w", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("expt: parsing baseline %s: %w", path, err)
+	}
+	if r.SchemaVersion != BenchSchemaVersion {
+		return nil, fmt.Errorf("expt: baseline %s has schema %d, this binary writes %d",
+			path, r.SchemaVersion, BenchSchemaVersion)
+	}
+	return &r, nil
+}
+
+// RegressGate compares cur against baseline and returns a violation
+// message per breach (empty = gate passed). Budgets gate the listed
+// algorithms' evaluation counts; all algorithms get the bitwise quality
+// check regardless.
+func RegressGate(cur, baseline *BenchReport, budgets []EvalBudget) []string {
+	var violations []string
+
+	type key struct {
+		algo        string
+		size, trial int
+	}
+	base := make(map[key]*BenchEntry, len(baseline.Entries))
+	for i := range baseline.Entries {
+		e := &baseline.Entries[i]
+		base[key{e.Algorithm, e.Size, e.Trial}] = e
+	}
+
+	shared := 0
+	curEvals := map[string]int64{}
+	baseEvals := map[string]int64{}
+	for i := range cur.Entries {
+		e := &cur.Entries[i]
+		b, ok := base[key{e.Algorithm, e.Size, e.Trial}]
+		if !ok {
+			continue
+		}
+		shared++
+		curEvals[e.Algorithm] += int64(e.OracleEvaluations)
+		baseEvals[e.Algorithm] += int64(b.OracleEvaluations)
+		id := fmt.Sprintf("%s/size=%d/trial=%d", e.Algorithm, e.Size, e.Trial)
+		check := func(field string, got, want float64) {
+			//nontree:allow floatcmp the gate's whole point is bitwise equality with the committed baseline — any rounding drift IS the regression being detected
+			if got != want {
+				violations = append(violations,
+					fmt.Sprintf("%s: %s drifted: %x (current) != %x (baseline)", id, field, got, want))
+			}
+		}
+		check("seed_delay_s", e.SeedDelay, b.SeedDelay)
+		check("final_delay_s", e.FinalDelay, b.FinalDelay)
+		check("seed_wirelength_um", e.SeedCost, b.SeedCost)
+		check("final_wirelength_um", e.FinalCost, b.FinalCost)
+		if e.Accepted != b.Accepted {
+			violations = append(violations,
+				fmt.Sprintf("%s: accepted drifted: %d (current) != %d (baseline)", id, e.Accepted, b.Accepted))
+		}
+	}
+	if shared == 0 {
+		return []string{"no entries shared with the baseline — config mismatch?"}
+	}
+
+	for _, budget := range budgets {
+		bTotal, cTotal := baseEvals[budget.Algorithm], curEvals[budget.Algorithm]
+		if bTotal == 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: baseline has no evaluations to gate against", budget.Algorithm))
+			continue
+		}
+		if limit := float64(bTotal) * budget.MaxFraction; float64(cTotal) > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d oracle evaluations exceeds %.0f%% of baseline's %d (limit %.0f)",
+				budget.Algorithm, cTotal, budget.MaxFraction*100, bTotal, limit))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}
+
+// DefaultEvalBudgets is the gate CI applies: the incremental sweep must
+// keep LDRG and SLDRG under a quarter of the full-solve era's oracle work
+// (the measured reduction is ~10x or better; 25% leaves slack for small
+// corpus shifts without letting a full-solve regression through).
+func DefaultEvalBudgets() []EvalBudget {
+	return []EvalBudget{
+		{Algorithm: "ldrg", MaxFraction: 0.25},
+		{Algorithm: "sldrg", MaxFraction: 0.25},
+	}
+}

@@ -1,0 +1,101 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateFixture() (*BenchReport, *BenchReport) {
+	entry := func(algo string, trial, evals int) BenchEntry {
+		return BenchEntry{
+			Algorithm: algo, Size: 10, Trial: trial,
+			SeedDelay: 2e-9, FinalDelay: 1.5e-9,
+			SeedCost: 100, FinalCost: 140,
+			Accepted: 2, OracleEvaluations: evals,
+		}
+	}
+	baseline := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Entries: []BenchEntry{
+			entry("ldrg", 0, 400), entry("ldrg", 1, 600),
+			entry("sldrg", 0, 500),
+			entry("h1", 0, 30),
+		},
+	}
+	cur := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Entries: []BenchEntry{
+			entry("ldrg", 0, 40), entry("ldrg", 1, 60),
+			entry("sldrg", 0, 50),
+			entry("h1", 0, 30),
+		},
+	}
+	return cur, baseline
+}
+
+func TestRegressGatePasses(t *testing.T) {
+	cur, baseline := gateFixture()
+	if v := RegressGate(cur, baseline, DefaultEvalBudgets()); len(v) != 0 {
+		t.Fatalf("clean gate reported violations: %v", v)
+	}
+}
+
+func TestRegressGateCatchesQualityDrift(t *testing.T) {
+	cur, baseline := gateFixture()
+	cur.Entries[0].FinalDelay *= 1 + 1e-15 // one ulp-scale nudge must trip it
+	v := RegressGate(cur, baseline, DefaultEvalBudgets())
+	if len(v) != 1 || !strings.Contains(v[0], "final_delay_s drifted") {
+		t.Fatalf("want exactly one final_delay drift violation, got %v", v)
+	}
+}
+
+func TestRegressGateCatchesAcceptedDrift(t *testing.T) {
+	cur, baseline := gateFixture()
+	cur.Entries[2].Accepted++
+	v := RegressGate(cur, baseline, DefaultEvalBudgets())
+	if len(v) != 1 || !strings.Contains(v[0], "accepted drifted") {
+		t.Fatalf("want exactly one accepted drift violation, got %v", v)
+	}
+}
+
+func TestRegressGateCatchesEvalBudgetBreach(t *testing.T) {
+	cur, baseline := gateFixture()
+	// 300/1000 > 25%: a silent fallback to full solves must fail even
+	// though every quality field still matches.
+	cur.Entries[0].OracleEvaluations = 300
+	cur.Entries[1].OracleEvaluations = 0
+	v := RegressGate(cur, baseline, DefaultEvalBudgets())
+	if len(v) != 1 || !strings.Contains(v[0], "ldrg") || !strings.Contains(v[0], "exceeds") {
+		t.Fatalf("want exactly one ldrg budget violation, got %v", v)
+	}
+}
+
+func TestRegressGateIgnoresUnsharedEntries(t *testing.T) {
+	cur, baseline := gateFixture()
+	// The current run has fewer trials than the baseline: extra baseline
+	// entries are not violations (quick CI gating against a full artifact),
+	// and budgets compare only the shared subset.
+	cur.Entries = cur.Entries[:1] // ldrg trial 0 only: 40 <= 0.25*400
+	if v := RegressGate(cur, baseline, []EvalBudget{{Algorithm: "ldrg", MaxFraction: 0.25}}); len(v) != 0 {
+		t.Fatalf("partial run should gate cleanly, got %v", v)
+	}
+}
+
+func TestRegressGateRejectsDisjointRuns(t *testing.T) {
+	cur, baseline := gateFixture()
+	for i := range cur.Entries {
+		cur.Entries[i].Size = 999
+	}
+	v := RegressGate(cur, baseline, nil)
+	if len(v) != 1 || !strings.Contains(v[0], "no entries shared") {
+		t.Fatalf("disjoint runs must be a gate error, got %v", v)
+	}
+}
+
+func TestRegressGateFlagsMissingBaselineAlgorithm(t *testing.T) {
+	cur, baseline := gateFixture()
+	v := RegressGate(cur, baseline, []EvalBudget{{Algorithm: "wsorg", MaxFraction: 0.25}})
+	if len(v) != 1 || !strings.Contains(v[0], "wsorg") {
+		t.Fatalf("budget naming an absent algorithm must be flagged, got %v", v)
+	}
+}

@@ -20,6 +20,11 @@ const (
 	CtrSweepCandidates = "core.sweep.candidates"
 	// CtrAcceptedEdges counts accepted topology modifications (edges, taps).
 	CtrAcceptedEdges = "core.sweep.accepted"
+	// CtrCandidatesPruned counts sweep candidates skipped by lower-bound
+	// pruning before any oracle work (incremental scoring only). Unlike the
+	// other sweep counters it is order-dependent: it is deterministic for a
+	// fixed seed, but not invariant under input relabeling.
+	CtrCandidatesPruned = "core.sweep.pruned"
 	// CtrTapCandidates counts mid-edge tap candidates evaluated.
 	CtrTapCandidates = "core.taps.candidates"
 	// CtrTapsAccepted counts accepted taps (subset of CtrAcceptedEdges).
@@ -37,6 +42,10 @@ const (
 	CtrIncrementalHits = "elmore.incremental.cache_hits"
 	// CtrIncrementalMisses counts column cache misses (triangular solves).
 	CtrIncrementalMisses = "elmore.incremental.cache_misses"
+	// CtrIncrementalFactorizations counts base-state (re)factorizations of
+	// the incremental evaluator — one per NewIncremental plus one per
+	// Refactor after an accepted modification.
+	CtrIncrementalFactorizations = "elmore.incremental.factorizations"
 	// CtrElmoreSolves counts linear-system solves made by the Elmore and
 	// two-pole oracles (one per Elmore evaluation, two per two-pole).
 	CtrElmoreSolves = "elmore.graph.solves"
@@ -98,6 +107,7 @@ func CounterNames() []string {
 		CtrSweeps,
 		CtrSweepCandidates,
 		CtrAcceptedEdges,
+		CtrCandidatesPruned,
 		CtrTapCandidates,
 		CtrTapsAccepted,
 		CtrWidenCandidates,
@@ -105,6 +115,7 @@ func CounterNames() []string {
 		CtrIncrementalEvals,
 		CtrIncrementalHits,
 		CtrIncrementalMisses,
+		CtrIncrementalFactorizations,
 		CtrElmoreSolves,
 		CtrMNAFactorizations,
 		CtrMNASolves,

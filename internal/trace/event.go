@@ -34,6 +34,13 @@ const (
 	// tried and reverted (Reason "reverted"). U/V name the edge, Value
 	// its objective, Before the objective it failed to beat.
 	KindEdgeRejected = "edge_rejected"
+	// KindCandidatePruned reports a candidate skipped by the incremental
+	// sweep's lower-bound pruning: Sweep and Index locate it exactly like
+	// candidate_scored (pruned candidates consume an index), U/V name the
+	// edge (Width the proposed width for widenings), Value is the proved
+	// best-case objective lower bound, Before the cutoff it failed to
+	// undercut. A pruned candidate was never evaluated by the oracle.
+	KindCandidatePruned = "candidate_pruned"
 	// KindOracleEval reports one delay-oracle evaluation: Oracle names
 	// the model, N the topology's node count. Emitted by oracle
 	// implementations; deterministic order only in sequential contexts
