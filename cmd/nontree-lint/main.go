@@ -17,8 +17,14 @@
 //	nondetsource  wall clocks, math/rand, GOMAXPROCS-dependent logic
 //	floatcmp      ==/!= on floating-point delay and score values
 //	unitcheck     dimensional analysis of the circuit model (Ω·F = s)
+//	lockguard     //nontree:guardedby fields accessed without the mutex
+//	goroleak      goroutines spawned without a reachable join
+//	epochcheck    incremental-evaluator probes after uncommitted mutation
+//	obsnames      metric names outside the internal/obs catalog
 //
-// unitcheck propagates declared units across packages; -factdir writes the
+// The last four are flow-sensitive: they run a forward dataflow over the
+// internal/analysis/cfg basic-block graph (DESIGN.md §13). unitcheck
+// propagates declared units across packages; -factdir writes the
 // per-package unit facts it derives as JSON sidecars for inspection.
 //
 // Findings are suppressed only by a justified annotation:
@@ -27,7 +33,8 @@
 //
 // placed on the flagged line or the line above it (for detordering, the
 // loop's `for` line also works). See DESIGN.md §8 for the sanctioned
-// exemptions.
+// exemptions. -staleallow additionally reports annotations that no longer
+// suppress anything (and exits 1), keeping the exemption inventory honest.
 package main
 
 import (
@@ -38,8 +45,12 @@ import (
 
 	"nontree/internal/analysis"
 	"nontree/internal/analysis/detordering"
+	"nontree/internal/analysis/epochcheck"
 	"nontree/internal/analysis/floatcmp"
+	"nontree/internal/analysis/goroleak"
+	"nontree/internal/analysis/lockguard"
 	"nontree/internal/analysis/nondetsource"
+	"nontree/internal/analysis/obsnames"
 	"nontree/internal/analysis/oraclesafety"
 	"nontree/internal/analysis/unitcheck"
 )
@@ -47,14 +58,19 @@ import (
 // Analyzers is the suite the multichecker runs, in report order.
 var Analyzers = []*analysis.Analyzer{
 	detordering.Analyzer,
+	epochcheck.Analyzer,
 	floatcmp.Analyzer,
+	goroleak.Analyzer,
+	lockguard.Analyzer,
 	nondetsource.Analyzer,
+	obsnames.Analyzer,
 	oraclesafety.Analyzer,
 	unitcheck.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	staleallow := flag.Bool("staleallow", false, "also report //nontree:allow annotations that no longer suppress anything")
 	factdir := flag.String("factdir", "", "write per-package analyzer facts as JSON sidecars into this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: nontree-lint [packages]\n\n")
@@ -74,10 +90,16 @@ func main() {
 		patterns = []string{"./..."}
 	}
 	facts := map[string]*analysis.Facts{}
-	diags, err := analysis.RunFacts(os.Stdout, "", Analyzers, facts, patterns...)
+	diags, stale, err := analysis.RunStale(os.Stdout, "", Analyzers, facts, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nontree-lint:", err)
 		os.Exit(2)
+	}
+	if !*staleallow {
+		stale = nil
+	}
+	for _, s := range stale {
+		fmt.Println(s.String())
 	}
 	if *factdir != "" {
 		for name, f := range facts {
@@ -90,8 +112,8 @@ func main() {
 			}
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "nontree-lint: %d finding(s)\n", len(diags))
+	if len(diags) > 0 || len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "nontree-lint: %d finding(s), %d stale allow(s)\n", len(diags), len(stale))
 		os.Exit(1)
 	}
 }

@@ -8,10 +8,13 @@ import (
 )
 
 // TestRepositoryIsClean runs the full multichecker over every package in
-// the module and asserts zero diagnostics, locking the tree's clean state:
-// any new map-ordering, oracle-mutation, nondeterminism-source,
-// float-equality, or unit-mismatch site fails this test (and the CI lint
-// gate) until it is fixed or carries a justified //nontree:allow annotation.
+// the module and asserts zero diagnostics and zero stale allows, locking
+// the tree's clean state: any new map-ordering, oracle-mutation,
+// nondeterminism-source, float-equality, unit-mismatch, lock-discipline,
+// goroutine-leak, stale-probe, or metric-name site fails this test (and
+// the CI lint gate) until it is fixed or carries a justified
+// //nontree:allow annotation — and an annotation that stops suppressing
+// anything fails it again until removed.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
@@ -19,12 +22,15 @@ func TestRepositoryIsClean(t *testing.T) {
 	var out strings.Builder
 	// The module-path pattern resolves from any working directory inside
 	// the module, unlike "./..." which would only cover this command.
-	diags, err := analysis.Run(&out, "", Analyzers, "nontree/...")
+	diags, stale, err := analysis.RunStale(&out, "", Analyzers, nil, "nontree/...")
 	if err != nil {
 		t.Fatalf("running multichecker: %v", err)
 	}
 	if len(diags) != 0 {
 		t.Errorf("expected a clean tree, got %d finding(s):\n%s", len(diags), out.String())
+	}
+	for _, s := range stale {
+		t.Errorf("stale annotation: %s", s.String())
 	}
 }
 
@@ -33,8 +39,12 @@ func TestRepositoryIsClean(t *testing.T) {
 func TestAnalyzerRoster(t *testing.T) {
 	want := map[string]bool{
 		"detordering":  true,
+		"epochcheck":   true,
 		"floatcmp":     true,
+		"goroleak":     true,
+		"lockguard":    true,
 		"nondetsource": true,
+		"obsnames":     true,
 		"oraclesafety": true,
 		"unitcheck":    true,
 	}

@@ -121,17 +121,25 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 // AllowDirective is the comment prefix that suppresses a diagnostic.
 const AllowDirective = "nontree:allow"
 
-// allowEntry is one parsed //nontree:allow annotation.
+// allowEntry is one parsed //nontree:allow annotation. used is set when the
+// entry suppresses (or an analyzer probes and honors) a diagnostic, which is
+// what the -staleallow sweep keys on: entries an entire run never marks are
+// rot.
 type allowEntry struct {
 	analyzer      string
 	justification string
+	line          int
+	used          bool
 }
 
-// allowIndex maps filename → line → annotations on that line.
-type allowIndex map[string]map[int][]allowEntry
+// allowIndex maps filename → line → annotations on that line. Entries are
+// pointers so usage marks aggregate across every analyzer sharing one
+// Package's index.
+type allowIndex map[string]map[int][]*allowEntry
 
 // allows reports whether a diagnostic from analyzer at file:line is
-// suppressed by an annotation on that line or the line above it.
+// suppressed by an annotation on that line or the line above it, marking
+// the matching entry used.
 func (ai allowIndex) allows(file string, line int, analyzer string) bool {
 	lines := ai[file]
 	if lines == nil {
@@ -140,6 +148,7 @@ func (ai allowIndex) allows(file string, line int, analyzer string) bool {
 	for _, l := range [2]int{line, line - 1} {
 		for _, e := range lines[l] {
 			if e.analyzer == analyzer && e.justification != "" {
+				e.used = true
 				return true
 			}
 		}
@@ -161,13 +170,14 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				if len(fields) == 0 {
 					continue
 				}
-				entry := allowEntry{
+				pos := fset.Position(c.Pos())
+				entry := &allowEntry{
 					analyzer:      fields[0],
 					justification: strings.Join(fields[1:], " "),
+					line:          pos.Line,
 				}
-				pos := fset.Position(c.Pos())
 				if ai[pos.Filename] == nil {
-					ai[pos.Filename] = map[int][]allowEntry{}
+					ai[pos.Filename] = map[int][]*allowEntry{}
 				}
 				ai[pos.Filename][pos.Line] = append(ai[pos.Filename][pos.Line], entry)
 			}
@@ -196,7 +206,7 @@ func RunAnalyzerFacts(a *Analyzer, pkg *Package, facts *Facts) ([]Diagnostic, er
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
 		Facts:    facts,
-		allow:    buildAllowIndex(pkg.Fset, pkg.Files),
+		allow:    pkg.allowIdx(),
 		report:   func(d Diagnostic) { out = append(out, d) },
 	}
 	if err := a.Run(pass); err != nil {

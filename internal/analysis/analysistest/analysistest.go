@@ -1,4 +1,4 @@
-// Package analysistest runs an analyzer over a testdata package and checks
+// Package analysistest runs an analyzer over testdata packages and checks
 // its diagnostics against `// want` comments, mirroring the upstream
 // golang.org/x/tools/go/analysis/analysistest contract on the standard
 // library alone.
@@ -11,12 +11,23 @@
 // matched against the diagnostic message; one expectation per line. Lines
 // with no want comment must produce no diagnostic, and every expectation
 // must be matched by exactly one diagnostic.
+//
+// Fixtures may span packages: a testdata package that imports a sibling
+// (e.g. `import "obs"` resolving to testdata/src/obs) gets it loaded,
+// type-checked and analyzed first, in dependency order, with one shared
+// fact store — so multi-file, multi-struct and cross-package fixtures work
+// exactly like a real nontree-lint run. Want comments in dependency
+// packages count too.
 package analysistest
 
 import (
+	"go/parser"
+	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"nontree/internal/analysis"
@@ -24,28 +35,70 @@ import (
 
 var wantRe = regexp.MustCompile("// want (`([^`]*)`|\"([^\"]*)\")")
 
-// Run loads testdata/src/<pkg> relative to the caller's directory,
-// type-checks it, applies the analyzer (ignoring its Scope), and verifies
-// the diagnostics against want comments.
-func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+// Run loads each testdata/src/<pkg> relative to the caller's directory
+// (plus any sibling testdata packages they import, recursively),
+// type-checks them, applies the analyzer to every loaded package in
+// dependency order (ignoring its Scope) with a shared fact store, and
+// verifies the combined diagnostics against the want comments of every
+// loaded package.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	if len(pkgs) == 0 {
+		t.Fatal("analysistest: no packages given")
+	}
 	_, callerFile, _, ok := runtime.Caller(1)
 	if !ok {
 		t.Fatal("analysistest: cannot locate caller to find testdata")
 	}
-	dir := filepath.Join(filepath.Dir(callerFile), "testdata", "src", pkg)
+	base := filepath.Join(filepath.Dir(callerFile), "testdata", "src")
 
 	loader := analysis.NewLoader()
-	loaded, err := loader.CheckDir(dir, pkg)
-	if err != nil {
-		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	loaded := map[string]*analysis.Package{}
+	loading := map[string]bool{}
+	var order []*analysis.Package
+	var load func(pkg string)
+	load = func(pkg string) {
+		t.Helper()
+		if loaded[pkg] != nil {
+			return
+		}
+		if loading[pkg] {
+			t.Fatalf("analysistest: import cycle through testdata package %s", pkg)
+		}
+		loading[pkg] = true
+		dir := filepath.Join(base, pkg)
+		for _, imp := range fixtureImports(t, dir) {
+			if info, err := os.Stat(filepath.Join(base, imp)); err == nil && info.IsDir() {
+				load(imp)
+			}
+		}
+		p, err := loader.CheckDir(dir, pkg)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", dir, err)
+		}
+		loader.RegisterPackage(p.Types)
+		loaded[pkg] = p
+		order = append(order, p)
 	}
-	diags, err := analysis.RunAnalyzer(a, loaded)
-	if err != nil {
-		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	for _, pkg := range pkgs {
+		load(pkg)
 	}
 
-	wants := collectWants(t, loaded)
+	facts := analysis.NewFacts()
+	var diags []analysis.Diagnostic
+	for _, p := range order {
+		ds, err := analysis.RunAnalyzerFacts(a, p, facts)
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, p.Path, err)
+		}
+		diags = append(diags, ds...)
+	}
+	analysis.SortDiagnostics(diags)
+
+	var wants []want
+	for _, p := range order {
+		wants = append(wants, collectWants(t, p)...)
+	}
 	matched := make([]bool, len(wants))
 	for _, d := range diags {
 		ok := false
@@ -68,6 +121,34 @@ func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
 		}
 	}
+}
+
+// fixtureImports parses the import clauses of every non-test Go file in
+// dir, deduplicated in first-appearance order.
+func fixtureImports(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatalf("analysistest: scanning %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range matches {
+		f, err := parser.ParseFile(fset, m, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("analysistest: parsing imports of %s: %v", m, err)
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	return out
 }
 
 type want struct {

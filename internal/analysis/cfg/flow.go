@@ -1,0 +1,111 @@
+package cfg
+
+import "fmt"
+
+// Flow specifies a forward dataflow analysis over a Graph. Facts are
+// opaque to the engine; the client supplies the lattice operations.
+//
+// Transfer must be monotone and the lattice of finite height, or the
+// iteration will not converge (the engine panics after a generous
+// iteration budget rather than looping forever — hitting it indicates a
+// bug in the client's lattice, not a property of the analyzed code).
+type Flow struct {
+	// Entry produces the fact flowing into the entry block.
+	Entry func() any
+	// Transfer produces the fact at a block's exit from the fact at its
+	// entry. It must not mutate in (facts may be shared between edges);
+	// return a fresh value when anything changes.
+	Transfer func(b *Block, in any) any
+	// Meet combines two facts at a control-flow merge. It must not mutate
+	// its arguments.
+	Meet func(a, b any) any
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b any) bool
+}
+
+// Forward runs the analysis to fixpoint and returns the entry fact of each
+// block, indexed by Block.Index. Unreachable blocks get a nil fact.
+//
+// The worklist is FIFO and seeded with the entry block only; successors
+// are visited in edge order, so the result is deterministic for a given
+// graph.
+func Forward(g *Graph, f Flow) []any {
+	n := len(g.Blocks)
+	ins := make([]any, n)
+	outs := make([]any, n)
+	hasIn := make([]bool, n)
+	hasOut := make([]bool, n)
+
+	queue := []int{0}
+	queued := make([]bool, n)
+	queued[0] = true
+
+	budget := n*n*8 + 1024
+	for len(queue) > 0 {
+		if budget--; budget < 0 {
+			panic(fmt.Sprintf("cfg: dataflow did not converge after %d visits (non-monotone Transfer?)", n*n*8+1024))
+		}
+		bi := queue[0]
+		queue = queue[1:]
+		queued[bi] = false
+		b := g.Blocks[bi]
+
+		var in any
+		have := false
+		if bi == 0 {
+			in = f.Entry()
+			have = true
+		}
+		for _, p := range preds(g)[bi] {
+			if !hasOut[p] {
+				continue
+			}
+			if !have {
+				in = outs[p]
+				have = true
+			} else {
+				in = f.Meet(in, outs[p])
+			}
+		}
+		if !have {
+			continue // not yet reachable
+		}
+		ins[bi] = in
+		hasIn[bi] = true
+
+		out := f.Transfer(b, in)
+		if hasOut[bi] && f.Equal(out, outs[bi]) {
+			continue
+		}
+		outs[bi] = out
+		hasOut[bi] = true
+		for _, s := range b.Succs {
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				queue = append(queue, s.Index)
+			}
+		}
+	}
+
+	for i := range ins {
+		if !hasIn[i] {
+			ins[i] = nil
+		}
+	}
+	return ins
+}
+
+// preds computes and caches the predecessor lists of a graph.
+func preds(g *Graph) [][]int {
+	if g.preds != nil {
+		return g.preds
+	}
+	p := make([][]int, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			p[s.Index] = append(p[s.Index], b.Index)
+		}
+	}
+	g.preds = p
+	return p
+}

@@ -1,0 +1,12 @@
+package epochcheck_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/epochcheck"
+)
+
+func TestEpochcheck(t *testing.T) {
+	analysistest.Run(t, epochcheck.Analyzer, "a")
+}

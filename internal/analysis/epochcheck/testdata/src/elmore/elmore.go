@@ -1,0 +1,44 @@
+// Package elmore is a minimal stand-in for nontree/internal/elmore's
+// Incremental evaluator: same probe/Refactor protocol surface, matched by
+// the analyzer through name and package name.
+package elmore
+
+import "graph"
+
+// Incremental answers delay probes against one factorization of the
+// topology; Refactor re-establishes it after a committed mutation.
+type Incremental struct{ epoch int }
+
+// NewIncremental factors the current topology.
+func NewIncremental(t *graph.Topology) (*Incremental, error) {
+	return &Incremental{}, nil
+}
+
+// Refactor re-factors after a committed mutation.
+func (inc *Incremental) Refactor() error {
+	inc.epoch++
+	return nil
+}
+
+// WithEdge probes the delay vector with one extra edge.
+func (inc *Incremental) WithEdge(e graph.Edge) ([]float64, error) { return nil, nil }
+
+// WithWiden probes with one edge widened.
+func (inc *Incremental) WithWiden(e graph.Edge) ([]float64, error) { return nil, nil }
+
+// WithTap probes with a mid-edge tap.
+func (inc *Incremental) WithTap(e graph.Edge, x, y int) ([]float64, error) { return nil, nil }
+
+// AdditionBound lower-bounds an addition's improvement.
+func (inc *Incremental) AdditionBound(e graph.Edge) float64 { return 0 }
+
+// WideningBound lower-bounds a widening's improvement.
+func (inc *Incremental) WideningBound(e graph.Edge) float64 { return 0 }
+
+// BestAddition scans candidates for the best addition.
+func (inc *Incremental) BestAddition(min float64) (graph.Edge, float64, bool, error) {
+	return graph.Edge{}, 0, false, nil
+}
+
+// BaseDelays returns the base-state delay vector.
+func (inc *Incremental) BaseDelays() []float64 { return nil }

@@ -1,0 +1,36 @@
+// Package graph is a minimal stand-in for nontree/internal/graph: the
+// epochcheck analyzer matches Topology and Edge by name and package name,
+// so this stub exercises it exactly like the real package.
+package graph
+
+// Edge is an undirected node pair.
+type Edge struct{ U, V int }
+
+// Topology is a mutable routing topology.
+type Topology struct {
+	edges []Edge
+	nodes int
+}
+
+// AddEdge commits an extra edge.
+func (t *Topology) AddEdge(e Edge) error {
+	t.edges = append(t.edges, e)
+	return nil
+}
+
+// RemoveEdge commits an edge removal.
+func (t *Topology) RemoveEdge(e Edge) error {
+	for i, x := range t.edges {
+		if x == e {
+			t.edges = append(t.edges[:i], t.edges[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// AddSteinerNode commits a junction point.
+func (t *Topology) AddSteinerNode(x, y int) int {
+	t.nodes++
+	return t.nodes - 1
+}

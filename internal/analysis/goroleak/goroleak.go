@@ -1,0 +1,220 @@
+// Package goroleak flags `go` statements with no reachable join in the
+// spawning function: after the spawn, some path must reach a
+// sync.WaitGroup Wait call, a channel receive, or a range over a channel
+// — otherwise nothing in the function observes the goroutine's
+// completion, the shape of every goroutine leak the worker-pool engine
+// and the serve daemon must never grow (DESIGN.md §7, §11).
+//
+// The join search is intra-procedural over the internal/analysis/cfg
+// graph: the rest of the spawning block plus every block reachable from
+// it. Function literals are skipped (they run elsewhere), except
+// immediately-invoked ones; deferred calls count (they run at function
+// exit, on the spawning goroutine). A goroutine whose join is genuinely
+// elsewhere — handed to the caller, joined by process shutdown — carries
+// a justified //nontree:allow goroleak annotation.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nontree/internal/analysis"
+	"nontree/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement needs a reachable join: WaitGroup.Wait, channel receive, or range over a channel",
+	Run:  run,
+	Scope: []string{
+		"internal/core",
+		"internal/elmore",
+		"internal/spice",
+		"internal/graph",
+		"internal/serve",
+		"internal/trace",
+		"internal/obs",
+		"internal/expt",
+		"cmd/nontree-serve",
+		"cmd/nontree-bench",
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.checkFunc(lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// checkFunc reports joinless go statements appearing directly in one
+// function body (go statements inside nested literals belong to the
+// literal's own unit).
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	hasGo := false
+	for _, stmt := range flatten(body) {
+		if _, ok := stmt.(*ast.GoStmt); ok {
+			hasGo = true
+			break
+		}
+	}
+	if !hasGo {
+		return
+	}
+	g := cfg.New(body)
+	// A deferred join (defer wg.Wait(), or a deferred literal containing
+	// one) runs at function exit — after every spawn the function executes
+	// — so one reachable deferred join covers the whole unit.
+	deferJoin := false
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if d, ok := n.(*ast.DeferStmt); ok && c.joinIn(d) {
+				deferJoin = true
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			if !deferJoin && !c.joinReachable(g, b, i) {
+				c.pass.Reportf(gs.Pos(), "goroutine is never joined on any path from its spawn: add a WaitGroup.Wait, channel receive, or range over a channel, or annotate //nontree:allow goroleak")
+			}
+		}
+	}
+}
+
+// flatten is a cheap pre-filter: every statement node in the body,
+// excluding function literal interiors.
+func flatten(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// joinReachable scans the remainder of the spawning block and everything
+// reachable from it for a join construct.
+func (c *checker) joinReachable(g *cfg.Graph, start *cfg.Block, idx int) bool {
+	for _, n := range start.Nodes[idx+1:] {
+		if c.joinIn(n) {
+			return true
+		}
+	}
+	seen := make([]bool, len(g.Blocks))
+	seen[start.Index] = true
+	stack := append([]*cfg.Block(nil), start.Succs...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		if rs, ok := b.Ctrl.(*ast.RangeStmt); ok && c.isChannel(rs.X) {
+			return true
+		}
+		for _, n := range b.Nodes {
+			if c.joinIn(n) {
+				return true
+			}
+		}
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// joinIn reports whether one node contains a join: a WaitGroup.Wait call
+// or a channel receive. Function literals are skipped unless immediately
+// invoked; deferred calls are inspected (they run at function exit).
+func (c *checker) joinIn(node ast.Node) bool {
+	found := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if lit, ok := x.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body) // immediately invoked: runs here
+				}
+				if c.isWaitCall(x) {
+					found = true
+					return false
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(node)
+	return found
+}
+
+// isWaitCall reports whether call is (*sync.WaitGroup).Wait.
+func (c *checker) isWaitCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	t := c.pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isChannel reports whether e has channel type.
+func (c *checker) isChannel(e ast.Expr) bool {
+	t := c.pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "a")
+}

@@ -1,0 +1,117 @@
+// Package a exercises goroleak: spawned goroutines must have a reachable
+// join in the spawning function.
+package a
+
+import "sync"
+
+func work() {}
+
+// --- joined correctly: no diagnostics ---
+
+// PoolJoin is the worker-pool shape: spawn N, Wait once.
+func PoolJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// ChannelJoin receives the goroutine's completion signal.
+func ChannelJoin() error {
+	errc := make(chan error, 1)
+	go func() { errc <- nil }()
+	return <-errc
+}
+
+// SelectJoin joins through a select receive.
+func SelectJoin(stop chan struct{}) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	select {
+	case <-done:
+	case <-stop:
+	}
+}
+
+// RangeJoin drains the results channel — every worker send is observed.
+func RangeJoin(n int) int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+	sum := 0
+	for v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// DeferredJoin joins at function exit via defer.
+func DeferredJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	defer wg.Wait()
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	work()
+}
+
+// BranchJoin joins on one path: a reachable join suffices.
+func BranchJoin(cond bool) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	if cond {
+		<-done
+	}
+}
+
+// --- leaks ---
+
+// FireAndForget never observes the goroutine.
+func FireAndForget() {
+	go work() // want `goroutine is never joined on any path`
+}
+
+// WaitBeforeSpawn has the join before the spawn, not after.
+func WaitBeforeSpawn() {
+	var wg sync.WaitGroup
+	wg.Wait()
+	go func() { work() }() // want `goroutine is never joined on any path`
+}
+
+// InnerLeak spawns inside a literal that never joins; the outer Wait
+// belongs to a different WaitGroup analysis unit and must not mask it.
+func InnerLeak() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // outer spawn is joined by the Wait below
+		defer wg.Done()
+		go work() // want `goroutine is never joined on any path`
+	}()
+	wg.Wait()
+}
+
+// LitNotInvoked: a join that only exists inside a non-invoked literal
+// does not count.
+func LitNotInvoked() func() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); work() }() // want `goroutine is never joined on any path`
+	return func() { wg.Wait() }
+}
+
+// Allowed demonstrates the escape hatch for intentionally detached work.
+func Allowed() {
+	//nontree:allow goroleak fixture exercises the annotation path
+	go work()
+}

@@ -23,6 +23,18 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	allow allowIndex // lazily built, shared by every analyzer pass
+}
+
+// allowIdx returns the package's annotation index, building it on first
+// use. Sharing one index across all analyzer passes is what lets the
+// -staleallow sweep see which entries an entire run left unused.
+func (p *Package) allowIdx() allowIndex {
+	if p.allow == nil {
+		p.allow = buildAllowIndex(p.Fset, p.Files)
+	}
+	return p.allow
 }
 
 // Loader resolves package patterns with `go list` and type-checks the
@@ -32,12 +44,47 @@ type Package struct {
 type Loader struct {
 	fset *token.FileSet
 	imp  types.Importer
+	// extra overlays the importer with explicitly registered packages,
+	// keyed by import path. The analysistest harness registers checked
+	// testdata packages here so fixtures can import each other under
+	// GOPATH-style paths the source importer cannot resolve.
+	extra map[string]*types.Package
 }
 
 // NewLoader returns a Loader with a fresh FileSet and importer.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
 	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// RegisterPackage makes an already-checked package importable by
+// subsequent type-checks under its path, shadowing the source importer.
+func (l *Loader) RegisterPackage(p *types.Package) {
+	if l.extra == nil {
+		l.extra = map[string]*types.Package{}
+	}
+	l.extra[p.Path()] = p
+}
+
+// Import implements types.Importer: registered packages first, then the
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.extra[path]; ok {
+		return p, nil
+	}
+	return l.imp.Import(path)
+}
+
+// ImportFrom implements types.ImporterFrom so vendor-style resolution in
+// the underlying source importer keeps working.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.extra[path]; ok {
+		return p, nil
+	}
+	if from, ok := l.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return l.imp.Import(path)
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -114,7 +161,7 @@ func (l *Loader) check(lp listedPackage) (*Package, error) {
 	}
 	var softErrs []error
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: l,
 		Error:    func(err error) { softErrs = append(softErrs, err) },
 	}
 	tpkg, err := conf.Check(lp.ImportPath, l.fset, files, info)

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "a")
+}

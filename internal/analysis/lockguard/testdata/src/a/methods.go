@@ -1,0 +1,108 @@
+package a
+
+// --- correct discipline: no diagnostics ---
+
+// Get locks around both accesses.
+func (c *Cache) Get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order = append(c.order, k)
+	return c.entries[k]
+}
+
+// Put uses explicit Unlock on every path.
+func (c *Cache) Put(k string, v int) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = map[string]int{}
+	}
+	c.entries[k] = v
+	c.mu.Unlock()
+}
+
+// Hits touches only the unguarded field: no lock needed.
+func (c *Cache) Hits() int { return c.hits }
+
+// ReadCount reads under RLock — sufficient for a read.
+func (s *Stats) ReadCount(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counts[k]
+}
+
+// Bump upgrades correctly: the write happens under the write lock.
+func (s *Stats) Bump(k string) {
+	s.mu.RLock()
+	n := s.counts[k]
+	s.mu.RUnlock()
+	s.mu.Lock()
+	s.counts[k] = n + 1
+	s.mu.Unlock()
+}
+
+// NewCache initializes via composite literal: field keys are not accesses.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]int{}}
+}
+
+// --- violations ---
+
+// GetUnlocked reads without the lock.
+func (c *Cache) GetUnlocked(k string) int {
+	return c.entries[k] // want `field entries is guarded by mu but read without holding it`
+}
+
+// PutUnlocked writes without the lock.
+func (c *Cache) PutUnlocked(k string, v int) {
+	c.entries[k] = v // want `field entries is guarded by mu but written without holding it`
+}
+
+// EarlyUnlock releases before the last access.
+func (c *Cache) EarlyUnlock(k string) int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.entries[k] // want `field entries is guarded by mu but read without holding it`
+}
+
+// BranchLeak locks on only one path; the merge loses the fact.
+func (c *Cache) BranchLeak(k string, cond bool) int {
+	if cond {
+		c.mu.Lock()
+	}
+	return c.entries[k] // want `field entries is guarded by mu but read without holding it`
+}
+
+// WriteUnderRLock holds only the read lock for a write.
+func (s *Stats) WriteUnderRLock(k string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.counts[k]++ // want `field counts is guarded by mu and written, but only the read lock is held`
+}
+
+// DeleteUnlocked deletes without the lock.
+func (s *Stats) DeleteUnlocked(k string) {
+	delete(s.counts, k) // want `field counts is guarded by mu but written without holding it`
+}
+
+// EscapeAddress takes the map's address without the write lock.
+func (c *Cache) EscapeAddress() *map[string]int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return &c.entries // want `field entries is guarded by mu but written without holding it`
+}
+
+// LitLeaks shows a function literal entered lock-free: the closure may run
+// on another goroutine, so the creation-site lock does not carry in.
+func (c *Cache) LitLeaks(k string) func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.entries[k] // want `field entries is guarded by mu but read without holding it`
+	}
+}
+
+// Allowed demonstrates the escape hatch.
+func (c *Cache) Allowed(k string) int {
+	//nontree:allow lockguard fixture exercises the annotation path
+	return c.entries[k]
+}

@@ -1,0 +1,33 @@
+// Package a exercises lockguard: guarded fields across two structs and
+// two files (the multi-file fixture the analysistest harness must
+// support).
+package a
+
+import "sync"
+
+// Cache is guarded by a plain mutex.
+type Cache struct {
+	mu sync.Mutex
+	// entries maps key → value.
+	//nontree:guardedby mu
+	entries map[string]int
+	//nontree:guardedby mu
+	order []string
+	hits  int // unguarded on purpose
+}
+
+// Stats is guarded by an RWMutex: reads may hold RLock.
+type Stats struct {
+	mu sync.RWMutex
+	//nontree:guardedby mu
+	counts map[string]int
+}
+
+// Broken demonstrates malformed directives.
+type Broken struct {
+	//nontree:guardedby missing
+	a int // want `guardedby names "missing", which is not a sibling field`
+	//nontree:guardedby notAMutex
+	b         int // want `guardedby names "notAMutex", which is not a sync.Mutex or sync.RWMutex`
+	notAMutex int
+}

@@ -1,0 +1,71 @@
+package obsnames
+
+import (
+	"go/types"
+	"sort"
+	"testing"
+
+	"nontree/internal/analysis"
+	"nontree/internal/obs"
+)
+
+// TestCatalogMatchesObsNames pins the analyzer's catalog view — the
+// exported string constants of nontree/internal/obs — to the package's
+// own name lists (CounterNames ∪ HistogramNames ∪ ServeCounterNames ∪
+// TimingNames), exactly. A constant added without a list entry would
+// silently pass the lint while missing from preregistration; a list
+// entry without a constant could never be referenced from code. Both
+// directions fail here first.
+func TestCatalogMatchesObsNames(t *testing.T) {
+	l := analysis.NewLoader()
+	pkgs, err := l.Load("../../..", "nontree/internal/obs")
+	if err != nil {
+		t.Fatalf("loading nontree/internal/obs: %v", err)
+	}
+	var obsPkg *types.Package
+	for _, p := range pkgs {
+		if p.Path == "nontree/internal/obs" {
+			obsPkg = p.Types
+		}
+	}
+	if obsPkg == nil {
+		t.Fatal("loader did not return nontree/internal/obs")
+	}
+
+	got := catalog(map[*types.Package]map[string]bool{}, obsPkg)
+
+	want := map[string]bool{}
+	for _, list := range [][]string{
+		obs.CounterNames(),
+		obs.HistogramNames(),
+		obs.ServeCounterNames(),
+		obs.TimingNames(),
+	} {
+		for _, name := range list {
+			if want[name] {
+				t.Errorf("name %q appears in more than one catalog list", name)
+			}
+			want[name] = true
+		}
+	}
+
+	for _, name := range sorted(want) {
+		if !got[name] {
+			t.Errorf("cataloged name %q has no exported obs constant", name)
+		}
+	}
+	for _, name := range sorted(got) {
+		if !want[name] {
+			t.Errorf("exported obs constant %q is missing from the name lists", name)
+		}
+	}
+}
+
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

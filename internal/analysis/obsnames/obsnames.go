@@ -1,0 +1,113 @@
+// Package obsnames pins every metric name at every instrumentation site
+// to the internal/obs catalog: the name argument of a Recorder/Registry
+// call (Add, Observe, ObserveDuration, Declare, DeclareTiming) or an
+// obs.StartSpan must be a compile-time string constant whose value is one
+// of the obs package's exported name constants (names.go). That makes
+// Preregister/exposition drift impossible by construction: a name that
+// compiles is in the catalog, so it is preregistered, schema-stable, and
+// scrapeable before first use.
+//
+// Matching is by constant *value*, so packages may alias catalog entries
+// into local constants (serve does). The obs package itself is exempt —
+// its Preregister loops necessarily pass variables — as is any package
+// named obs, which lets testdata stubs stand in for the real catalog.
+package obsnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"nontree/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc:  "metric names at instrumentation sites must be constants from the internal/obs catalog",
+	Run:  run,
+	// No Scope: every instrumented package is checked; obs itself is
+	// exempted inside Run.
+}
+
+// nameArg maps recorder-shaped method names to the index of their name
+// argument.
+var nameArg = map[string]int{
+	"Add":             0,
+	"Observe":         0,
+	"ObserveDuration": 0,
+	"Declare":         0,
+	"DeclareTiming":   0,
+	"StartSpan":       1,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		return nil
+	}
+	catalogs := map[*types.Package]map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := nameArg[sel.Sel.Name]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+				return true
+			}
+			// StartSpan is the package-level span helper; everything else
+			// must be a method (Recorder implementations, Registry).
+			isMethod := fn.Type().(*types.Signature).Recv() != nil
+			if sel.Sel.Name == "StartSpan" {
+				if isMethod {
+					return true
+				}
+			} else if !isMethod {
+				return true
+			}
+
+			arg := call.Args[argIdx]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "metric name for %s must be a string constant from the internal/obs names catalog, not a computed value", sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !catalog(catalogs, fn.Pkg())[name] {
+				pass.Reportf(arg.Pos(), "metric name %q is not in the internal/obs names catalog", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// catalog returns (caching per package) the values of every exported
+// package-level string constant of the obs package the call resolved to.
+func catalog(cache map[*types.Package]map[string]bool, pkg *types.Package) map[string]bool {
+	if c, ok := cache[pkg]; ok {
+		return c
+	}
+	c := map[string]bool{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !cn.Exported() {
+			continue
+		}
+		if cn.Val().Kind() != constant.String {
+			continue
+		}
+		c[constant.StringVal(cn.Val())] = true
+	}
+	cache[pkg] = c
+	return c
+}

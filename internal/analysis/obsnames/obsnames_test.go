@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/obsnames"
+)
+
+func TestObsnames(t *testing.T) {
+	analysistest.Run(t, obsnames.Analyzer, "a")
+}

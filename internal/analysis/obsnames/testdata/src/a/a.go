@@ -1,0 +1,51 @@
+// Package a exercises obsnames against the stub obs catalog.
+package a
+
+import "obs"
+
+// CtrLocal aliases a catalog entry; matching is by value, so it is fine
+// (the serve package does exactly this).
+const CtrLocal = obs.CtrGood
+
+// goodSites compile because every name is a catalog constant.
+func goodSites(r obs.Recorder, g *obs.Registry) {
+	r.Add(obs.CtrGood, 1)
+	r.Observe(obs.HistGood, 2)
+	r.ObserveDuration(obs.TimeGood, 0.5)
+	g.Add(CtrLocal, 1)
+	g.Declare(obs.HistGood)
+	g.DeclareTiming(obs.TimeGood)
+	sp := obs.StartSpan(r, obs.TimeGood)
+	sp.End()
+}
+
+// badSites each drift from the catalog.
+func badSites(r obs.Recorder, g *obs.Registry, dynamic string) {
+	r.Add("a.rogue.counter", 1)     // want `metric name "a.rogue.counter" is not in the internal/obs names catalog`
+	r.Add(dynamic, 1)               // want `metric name for Add must be a string constant`
+	g.Observe("a.rogue.hist", 1)    // want `metric name "a.rogue.hist" is not in the internal/obs names catalog`
+	g.DeclareTiming(dynamic)        // want `metric name for DeclareTiming must be a string constant`
+	obs.StartSpan(r, "a.rogue.sec") // want `metric name "a.rogue.sec" is not in the internal/obs names catalog`
+}
+
+// unexportedConstantsAreNotCatalog: the value never appears as an exported
+// obs constant, so it is drift even though obs declares it internally.
+func unexportedConstantsAreNotCatalog(r obs.Recorder) {
+	r.Add("a.internal.counter", 1) // want `metric name "a.internal.counter" is not in the internal/obs names catalog`
+}
+
+// otherAdd proves receiver filtering: Add methods outside package obs are
+// none of obsnames' business.
+type counterish struct{}
+
+func (counterish) Add(name string, delta int64) {}
+
+func otherAdd(c counterish, dynamic string) {
+	c.Add(dynamic, 1)
+}
+
+// allowed demonstrates the escape hatch.
+func allowed(r obs.Recorder, dynamic string) {
+	//nontree:allow obsnames fixture exercises the annotation path
+	r.Add(dynamic, 1)
+}

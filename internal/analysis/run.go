@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Run loads the packages matched by patterns (resolved in dir, or the
@@ -27,6 +28,12 @@ func RunFacts(w io.Writer, dir string, analyzers []*Analyzer, facts map[string]*
 	if err != nil {
 		return nil, err
 	}
+	return runLoaded(w, pkgs, analyzers, facts)
+}
+
+// runLoaded applies the analyzers to already-loaded packages, printing and
+// returning the sorted diagnostics.
+func runLoaded(w io.Writer, pkgs []*Package, analyzers []*Analyzer, facts map[string]*Facts) ([]Diagnostic, error) {
 	if facts == nil {
 		facts = map[string]*Facts{}
 	}
@@ -53,4 +60,87 @@ func RunFacts(w io.Writer, dir string, analyzers []*Analyzer, facts map[string]*
 		fmt.Fprintln(w, d)
 	}
 	return all, nil
+}
+
+// StaleAllow is one //nontree:allow annotation that cannot be suppressing
+// anything: its analyzer is unknown, it lacks the mandatory justification,
+// the named analyzer never runs on its package, or the analyzer ran and
+// reported nothing the entry had to absorb. Stale entries are rot — the
+// contract they document an exemption from is no longer (or never was)
+// violated there — and nontree-lint -staleallow fails on them.
+type StaleAllow struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+func (s StaleAllow) String() string {
+	return fmt.Sprintf("%s:%d: stale //nontree:allow %s: %s", s.File, s.Line, s.Analyzer, s.Reason)
+}
+
+// RunStale is RunFacts followed by a staleness sweep over every
+// //nontree:allow annotation in the loaded packages. The diagnostics and
+// error have RunFacts semantics; the returned stale list is sorted by
+// position.
+func RunStale(w io.Writer, dir string, analyzers []*Analyzer, facts map[string]*Facts, patterns ...string) ([]Diagnostic, []StaleAllow, error) {
+	loader := NewLoader()
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := runLoaded(w, pkgs, analyzers, facts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return diags, staleAllows(pkgs, analyzers), nil
+}
+
+// staleAllows sweeps the allow indexes the run populated. It must run
+// after every analyzer has been applied to every package — usage marks
+// accumulate on the shared per-package index.
+func staleAllows(pkgs []*Package, analyzers []*Analyzer) []StaleAllow {
+	known := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = a
+	}
+	var out []StaleAllow
+	for _, pkg := range pkgs {
+		for file, lines := range pkg.allowIdx() {
+			for _, entries := range lines {
+				for _, e := range entries {
+					reason := ""
+					switch a, ok := known[e.analyzer]; {
+					case e.justification == "":
+						reason = "missing justification, so it suppresses nothing"
+					case !ok:
+						reason = "no analyzer by that name in this run"
+					case !a.InScope(pkg.Path):
+						reason = fmt.Sprintf("analyzer is not in scope for %s", pkg.Path)
+					case !e.used:
+						reason = "matches no diagnostic"
+					}
+					if reason != "" {
+						out = append(out, StaleAllow{
+							File:     file,
+							Line:     e.line,
+							Analyzer: e.analyzer,
+							Reason:   reason,
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
 }

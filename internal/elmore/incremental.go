@@ -279,8 +279,8 @@ func (inc *Incremental) WithTap(e graph.Edge, pt geom.Point) ([]float64, error) 
 		return nil, fmt.Errorf("elmore: tap on source-incident edge %v", e)
 	}
 	a, b, src := inc.topo.Point(e.U), inc.topo.Point(e.V), inc.topo.Point(0)
-	lenA := geom.Dist(a, pt)  //nontree:unit µm
-	lenB := geom.Dist(pt, b)  //nontree:unit µm
+	lenA := geom.Dist(a, pt)   //nontree:unit µm
+	lenB := geom.Dist(pt, b)   //nontree:unit µm
 	lenC := geom.Dist(src, pt) //nontree:unit µm
 	//nontree:allow floatcmp Manhattan distance of coincident points is exactly 0.0; degenerate taps reduce to plain edges and are handled there
 	if lenA == 0 || lenB == 0 || lenC == 0 {
@@ -308,10 +308,10 @@ func (inc *Incremental) WithTap(e graph.Edge, pt geom.Point) ([]float64, error) 
 
 	wOld := inc.edgeWidth(e)
 	oldHalfC := inc.p.WireCapacitance * inc.topo.EdgeLength(e) * wOld / 2 //nontree:unit F
-	capS := inc.p.WireCapacitance * (lenA + lenB + lenC) / 2             //nontree:unit F
-	dcU := inc.p.WireCapacitance*lenA/2 - oldHalfC + gA/gSum*capS        //nontree:unit F
-	dcV := inc.p.WireCapacitance*lenB/2 - oldHalfC + gB/gSum*capS        //nontree:unit F
-	dc0 := inc.p.WireCapacitance*lenC/2 + gC/gSum*capS                   //nontree:unit F
+	capS := inc.p.WireCapacitance * (lenA + lenB + lenC) / 2              //nontree:unit F
+	dcU := inc.p.WireCapacitance*lenA/2 - oldHalfC + gA/gSum*capS         //nontree:unit F
+	dcV := inc.p.WireCapacitance*lenB/2 - oldHalfC + gB/gSum*capS         //nontree:unit F
+	dc0 := inc.p.WireCapacitance*lenC/2 + gC/gSum*capS                    //nontree:unit F
 
 	obs.OrNop(inc.Obs).Add(obs.CtrIncrementalEvals, 1)
 	trace.OrNop(inc.Trace).Emit(trace.Event{Kind: trace.KindOracleEval,

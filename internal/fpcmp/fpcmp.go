@@ -27,7 +27,7 @@ func EqTol(a, b, tol float64) bool {
 	if math.IsNaN(a) || math.IsNaN(b) {
 		return false
 	}
-	if a == b { //nontree:allow floatcmp fast path; inexact cases fall through to the tolerance test
+	if a == b { // exact fast path; inexact cases fall through to the tolerance test
 		return true
 	}
 	if math.IsInf(a, 0) || math.IsInf(b, 0) {

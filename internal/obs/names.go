@@ -79,6 +79,26 @@ const (
 	// CtrMeasureDCSolves counts the DC final-value solves MeasureDelays
 	// performs to fix threshold levels.
 	CtrMeasureDCSolves = "spice.measure.dc_solves"
+
+	// --- package serve: the nontree-serve daemon ---
+	//
+	// Serve counters live in a separate catalog (ServeCounterNames,
+	// preregistered by PreregisterServe) so the benchmark harness's
+	// snapshot schema — frozen over CounterNames — is untouched by daemon
+	// instrumentation. The serve package aliases these values locally;
+	// the obsnames analyzer matches by value, so both spellings satisfy
+	// the lint gate.
+
+	// CtrRouteRequests counts /route requests accepted for routing.
+	CtrRouteRequests = "serve.route.requests"
+	// CtrRouteErrors counts /route requests that failed (bad input or
+	// routing error).
+	CtrRouteErrors = "serve.route.errors"
+	// CtrRouteRejected counts /route requests shed by the concurrency
+	// limiter or refused while draining.
+	CtrRouteRejected = "serve.route.rejected"
+	// CtrTraceEvictions counts traces evicted from the retention window.
+	CtrTraceEvictions = "serve.traces.evictions"
 )
 
 // Histogram names (deterministic sections — integer-valued samples only).
@@ -98,6 +118,8 @@ const (
 	TimeSweep = "core.sweep.seconds"
 	// TimeSweepWorker spans one worker goroutine's share of a sweep.
 	TimeSweepWorker = "core.sweep.worker.seconds"
+	// TimeRouteSeconds is the wall-clock /route handling distribution.
+	TimeRouteSeconds = "serve.route.seconds"
 )
 
 // CounterNames returns the full counter catalog.
@@ -136,6 +158,23 @@ func HistogramNames() []string {
 	return []string{HistSweepCandidates, HistTranSteps, HistAdaptiveSteps}
 }
 
+// ServeCounterNames returns the daemon counter catalog — disjoint from
+// CounterNames so the benchmark snapshot schema stays frozen.
+func ServeCounterNames() []string {
+	return []string{
+		CtrRouteRequests,
+		CtrRouteErrors,
+		CtrRouteRejected,
+		CtrTraceEvictions,
+	}
+}
+
+// TimingNames returns the wall-clock timing catalog (Timings section —
+// excluded from determinism guarantees).
+func TimingNames() []string {
+	return []string{TimeSweep, TimeSweepWorker, TimeRouteSeconds}
+}
+
 // Preregister creates every cataloged counter (at zero) and histogram
 // (empty) in the registry, freezing the snapshot key set regardless of
 // which code paths the following run takes.
@@ -146,4 +185,15 @@ func Preregister(g *Registry) {
 	for _, name := range HistogramNames() {
 		g.Declare(name)
 	}
+}
+
+// PreregisterServe additionally creates the daemon's counters and its
+// route-timing histogram, so /metrics exposes the full serve surface from
+// the first scrape — before any request has exercised the paths. serve.New
+// calls this on whatever registry it is handed.
+func PreregisterServe(g *Registry) {
+	for _, name := range ServeCounterNames() {
+		g.Add(name, 0)
+	}
+	g.DeclareTiming(TimeRouteSeconds)
 }

@@ -26,21 +26,23 @@ import (
 	"nontree/internal/trace"
 )
 
-// Server-side observability counters, exposed through /metrics alongside
-// the algorithm catalog.
+// Server-side observability names, exposed through /metrics alongside the
+// algorithm catalog. The values live in the internal/obs names catalog
+// (ServeCounterNames / TimingNames); these aliases keep call sites short
+// and are interchangeable with the obs spellings under the obsnames lint.
 const (
 	// CtrRouteRequests counts /route requests accepted for routing.
-	CtrRouteRequests = "serve.route.requests"
+	CtrRouteRequests = obs.CtrRouteRequests
 	// CtrRouteErrors counts /route requests that failed (bad input or
 	// routing error).
-	CtrRouteErrors = "serve.route.errors"
+	CtrRouteErrors = obs.CtrRouteErrors
 	// CtrRouteRejected counts /route requests shed by the concurrency
 	// limiter or refused while draining.
-	CtrRouteRejected = "serve.route.rejected"
+	CtrRouteRejected = obs.CtrRouteRejected
 	// CtrTraceEvictions counts traces evicted from the retention window.
-	CtrTraceEvictions = "serve.traces.evictions"
+	CtrTraceEvictions = obs.CtrTraceEvictions
 	// TimeRouteSeconds is the wall-clock /route handling distribution.
-	TimeRouteSeconds = "serve.route.seconds"
+	TimeRouteSeconds = obs.TimeRouteSeconds
 )
 
 // Options tunes a Server. The zero value is fully usable.
@@ -97,9 +99,13 @@ type Server struct {
 	inflight atomic.Int64
 	traceSeq atomic.Uint64
 
-	mu     sync.Mutex
-	traces map[string]*list.Element // trace id → element in order
-	order  *list.List               // front = oldest, back = newest
+	mu sync.Mutex
+	// traces maps trace id → element in order.
+	//nontree:guardedby mu
+	traces map[string]*list.Element
+	// order keeps retention order: front = oldest, back = newest.
+	//nontree:guardedby mu
+	order *list.List
 }
 
 // storedTrace is one retained trace with its provenance: the exact request
@@ -111,9 +117,12 @@ type storedTrace struct {
 	req     RouteRequest
 }
 
-// New returns a Server ready to mount.
+// New returns a Server ready to mount. Whatever registry the options
+// carry (supplied or defaulted) gets the serve catalog preregistered, so
+// /metrics exposes the daemon surface from the first scrape.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	obs.PreregisterServe(opts.Metrics)
 	return &Server{
 		opts:    opts,
 		metrics: opts.Metrics,

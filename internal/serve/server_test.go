@@ -384,3 +384,119 @@ func TestServeAlgorithms(t *testing.T) {
 		}
 	}
 }
+
+// TestServeConcurrentStress hammers one server from four directions at
+// once — /route POSTs (filling a 2-slot trace window so every store
+// evicts), /traces/<id> lookups racing those evictions, /metrics scrapes,
+// and a BeginDrain flipped mid-flight. The CI race step runs this under
+// -race; here we only assert that every reply is one of the sanctioned
+// statuses and that the server lands idle and draining.
+func TestServeConcurrentStress(t *testing.T) {
+	s := New(Options{MaxTraces: 2, MaxConcurrent: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := RouteRequest{Net: testNet(t, 11, 6), RouteOptions: RouteOptions{Algo: AlgoLDRG, Workers: 2}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		routers   = 6
+		perRouter = 4
+		readers   = 3
+	)
+	var (
+		ids      sync.Map // trace id → struct{}; feeds the reader goroutines
+		done     = make(chan struct{})
+		halfway  = make(chan struct{})
+		routed   sync.WaitGroup
+		reading  sync.WaitGroup
+		posted   int64
+		postedMu sync.Mutex
+	)
+
+	for i := 0; i < routers; i++ {
+		routed.Add(1)
+		go func() {
+			defer routed.Done()
+			for j := 0; j < perRouter; j++ {
+				resp, err := http.Post(ts.URL+"/route", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var out RouteResponse
+					if err := json.Unmarshal(raw, &out); err != nil {
+						t.Errorf("decoding reply: %v", err)
+					} else if out.TraceID != "" {
+						ids.Store(out.TraceID, struct{}{})
+					}
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					// shed by the limiter or refused while draining
+				default:
+					t.Errorf("POST /route: unexpected status %d: %s", resp.StatusCode, raw)
+				}
+				postedMu.Lock()
+				posted++
+				if posted == routers*perRouter/2 {
+					close(halfway)
+				}
+				postedMu.Unlock()
+			}
+		}()
+	}
+
+	// Flip the server draining once half the requests have resolved, so
+	// in-flight routing, trace stores and reads all see the transition.
+	go func() {
+		<-halfway
+		s.BeginDrain()
+	}()
+
+	for i := 0; i < readers; i++ {
+		reading.Add(1)
+		go func() {
+			defer reading.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ids.Range(func(key, _ any) bool {
+					status, body := get(t, ts.URL+"/traces/"+key.(string))
+					if status != http.StatusOK && status != http.StatusNotFound {
+						t.Errorf("GET /traces/%s: unexpected status %d: %s", key, status, body)
+					}
+					return true
+				})
+				if status, body := get(t, ts.URL+"/metrics"); status != http.StatusOK {
+					t.Errorf("GET /metrics: status %d: %s", status, body)
+				}
+				if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusOK && status != http.StatusServiceUnavailable {
+					t.Errorf("GET /healthz: unexpected status %d", status)
+				}
+			}
+		}()
+	}
+
+	routed.Wait()
+	close(done)
+	reading.Wait()
+
+	if got := s.Inflight(); got != 0 {
+		t.Errorf("inflight after all requests resolved: %d", got)
+	}
+	if !s.Draining() {
+		t.Error("server should be draining after BeginDrain")
+	}
+	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusServiceUnavailable {
+		t.Errorf("GET /healthz while draining: status %d, want 503", status)
+	}
+}

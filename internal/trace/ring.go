@@ -22,13 +22,19 @@ const DefaultRingCapacity = 4096
 // numbers, so even after wraparound the retained tail reports how much
 // history it lost (Dropped). Safe for concurrent use.
 type Ring struct {
-	mu      sync.Mutex
-	buf     []Event
-	head    int // index of the oldest retained event
-	size    int
-	seq     int64
+	mu sync.Mutex
+	//nontree:guardedby mu
+	buf []Event
+	// head is the index of the oldest retained event.
+	//nontree:guardedby mu
+	head int
+	//nontree:guardedby mu
+	size int
+	//nontree:guardedby mu
+	seq int64
+	//nontree:guardedby mu
 	dropped int64
-	start   time.Time
+	start   time.Time // immutable after NewRing
 }
 
 // NewRing returns a tracer retaining the last capacity events
