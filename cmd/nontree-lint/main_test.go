@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
 
@@ -38,14 +40,17 @@ func TestRepositoryIsClean(t *testing.T) {
 // from the multichecker must be a deliberate, reviewed change.
 func TestAnalyzerRoster(t *testing.T) {
 	want := map[string]bool{
+		"detflow":      true,
 		"detordering":  true,
 		"epochcheck":   true,
 		"floatcmp":     true,
 		"goroleak":     true,
 		"lockguard":    true,
+		"lockorder":    true,
 		"nondetsource": true,
 		"obsnames":     true,
 		"oraclesafety": true,
+		"purityflow":   true,
 		"unitcheck":    true,
 	}
 	if len(Analyzers) != len(want) {
@@ -58,5 +63,60 @@ func TestAnalyzerRoster(t *testing.T) {
 		if a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %q is missing Doc or Run", a.Name)
 		}
+	}
+	for i := 1; i < len(Analyzers); i++ {
+		if Analyzers[i-1].Name >= Analyzers[i].Name {
+			t.Errorf("registry order: %q before %q (must be sorted by name)",
+				Analyzers[i-1].Name, Analyzers[i].Name)
+		}
+	}
+}
+
+// TestJSONDiagRoundTrip locks the -json wire shape consumed by CI
+// tooling: field names are part of the interface.
+func TestJSONDiagRoundTrip(t *testing.T) {
+	d := analysis.Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "detflow",
+		Message:  "boom",
+	}
+	b, err := json.Marshal(toJSONDiag(d, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(b)
+	for _, want := range []string{`"file":"x.go"`, `"line":3`, `"col":7`, `"analyzer":"detflow"`, `"message":"boom"`, `"suppressed":true`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("JSON %s missing %s", got, want)
+		}
+	}
+	b, err = json.Marshal(toJSONDiag(d, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "suppressed") {
+		t.Errorf("unsuppressed diagnostic should omit the suppressed field: %s", b)
+	}
+}
+
+// TestAnnotationEscaping locks the GitHub workflow-command escaping: a
+// message containing newlines, percent signs, or command metacharacters
+// must not break out of the ::error data section.
+func TestAnnotationEscaping(t *testing.T) {
+	var out strings.Builder
+	res := analysis.Result{
+		Diags: []analysis.Diagnostic{{
+			Pos:      token.Position{Filename: "a,b.go", Line: 2, Column: 4},
+			Analyzer: "lockorder",
+			Message:  "first\nsecond 100%",
+		}},
+		Stale: []analysis.StaleAllow{{File: "c.go", Line: 9, Analyzer: "detflow", Reason: "matches no diagnostic"}},
+	}
+	emitAnnotations(&out, res)
+	got := out.String()
+	want := "::error file=a%2Cb.go,line=2,col=4,title=lockorder::first%0Asecond 100%25\n" +
+		"::error file=c.go,line=9,title=stale-allow::stale //nontree:allow detflow: matches no diagnostic\n"
+	if got != want {
+		t.Errorf("annotations:\n got %q\nwant %q", got, want)
 	}
 }

@@ -76,8 +76,9 @@ type Pass struct {
 	// its importers are analyzed. Never nil.
 	Facts *Facts
 
-	allow  allowIndex
-	report func(Diagnostic)
+	allow      allowIndex
+	report     func(Diagnostic)
+	suppressed func(Diagnostic)
 }
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -91,13 +92,20 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Report emits a diagnostic at pos unless an annotation allowlists it.
+// Report emits a diagnostic at pos unless an annotation allowlists it, in
+// which case the suppressed sink (if the driver installed one) records it
+// instead — that is how -json surfaces allowlisted findings with
+// "suppressed": true.
 func (p *Pass) Report(pos token.Pos, msg string) {
 	position := p.Fset.Position(pos)
+	d := Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: msg}
 	if p.allow.allows(position.Filename, position.Line, p.Analyzer.Name) {
+		if p.suppressed != nil {
+			p.suppressed(d)
+		}
 		return
 	}
-	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: msg})
+	p.report(d)
 }
 
 // Reportf is Report with fmt.Sprintf formatting.

@@ -1,0 +1,52 @@
+// Package cg exercises every call-resolution mode of the callgraph
+// builder: static calls, concrete and interface method calls, function
+// literals (invoked, assigned, escaping, go/defer), method values, and
+// mutual recursion for the SCC engine.
+package cg
+
+import "cgdep"
+
+type Doer interface{ Do() int }
+
+type Local struct{ v int }
+
+func (l *Local) Do() int { return l.v }
+
+func (l Local) Other() int { return l.v + 1 }
+
+func static() int { return cgdep.Helper() }
+
+func viaIface(d Doer) int { return d.Do() }
+
+func concrete(l *Local) int { return l.Do() }
+
+func literals() int {
+	total := func(a, b int) int { return a + b }(1, 2) // invoked at definition
+	f := func(x int) int { return x * 2 }              // assigned, called below
+	total += f(3)
+	g := static // named function as value
+	total += g()
+	h := (&Local{v: 4}).Do // method value
+	total += h()
+	esc := func() int { return 9 } // escapes via sink
+	sink(esc)
+	go func() { _ = static() }()
+	defer func() { _ = total }()
+	return total
+}
+
+func sink(func() int) {}
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}

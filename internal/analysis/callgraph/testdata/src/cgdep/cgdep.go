@@ -1,0 +1,10 @@
+// Package cgdep is imported by the cg fixture: its method sets must be
+// visible to interface resolution across the package boundary.
+package cgdep
+
+// Impl implements cg.Doer from the dependent package.
+type Impl struct{ n int }
+
+func (i *Impl) Do() int { return i.n }
+
+func Helper() int { return 1 }

@@ -425,6 +425,83 @@ after()`)
 	}
 }
 
+// TestDeferOrderRecorded pins the defer representation: defers are plain
+// nodes at their syntactic position, in source order — the graph does not
+// model the LIFO run-at-exit semantics, and clients (lockguard's
+// deferred-unlock handling, lockorder's pair sources) rely on seeing them
+// in registration order.
+func TestDeferOrderRecorded(t *testing.T) {
+	_, g := parseBody(t, "defer a()\ndefer b()\nwork()")
+	if len(g.Blocks) != 1 {
+		t.Fatalf("straight-line defers should stay one block:\n%s", g)
+	}
+	got := blockIdents(g.Blocks[0])
+	want := []string{"a", "b", "work"}
+	if len(got) != len(want) {
+		t.Fatalf("nodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nodes = %v, want registration order %v", got, want)
+		}
+	}
+	if _, ok := g.Blocks[0].Nodes[0].(*ast.DeferStmt); !ok {
+		t.Errorf("defer must be recorded as the DeferStmt itself, got %T", g.Blocks[0].Nodes[0])
+	}
+}
+
+// TestSelectWithDefault verifies the non-blocking select shape: every comm
+// clause AND the default clause are successors, and code after the select
+// is reachable through each.
+func TestSelectWithDefault(t *testing.T) {
+	_, g := parseBody(t, `
+select {
+case <-ch:
+	recv()
+default:
+	fallback()
+}
+after()`)
+	reach := g.Reachable()
+	saw := map[string]bool{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			name := firstIdent(n)
+			if name == "recv" || name == "fallback" || name == "after" {
+				saw[name] = saw[name] || reach[b.Index]
+			}
+		}
+	}
+	for _, name := range []string{"recv", "fallback", "after"} {
+		if !saw[name] {
+			t.Errorf("%s must be reachable in select-with-default:\n%s", name, g)
+		}
+	}
+}
+
+// TestForwardBudgetPanic locks the non-convergence backstop: a widening
+// lattice (Equal always false) on a loop must hit the iteration budget
+// and panic rather than spin forever.
+func TestForwardBudgetPanic(t *testing.T) {
+	_, g := parseBody(t, "for {\n\tspin()\n}")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the dataflow budget panic, got none")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "did not converge") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	Forward(g, Flow{
+		Entry:    func() any { return 0 },
+		Transfer: func(b *Block, in any) any { return in.(int) + 1 }, // ever-growing
+		Meet:     func(a, b any) any { return a.(int) + b.(int) },
+		Equal:    func(a, b any) bool { return false }, // widening: never stable
+	})
+}
+
 // TestStringRendering pins the debug format loosely.
 func TestStringRendering(t *testing.T) {
 	_, g := parseBody(t, "a := 1\n_ = a")

@@ -1,0 +1,16 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/detflow"
+)
+
+func TestLaunderedNondeterminism(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer, "a")
+}
+
+func TestCrossPackageTaint(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer, "dfx")
+}

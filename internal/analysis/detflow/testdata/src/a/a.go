@@ -1,0 +1,87 @@
+// Package a exercises detflow: nondeterminism laundered through helpers
+// into exported results and out-parameters, against the sanctioned
+// sort-before-return and seeded-stream idioms.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Keys launders map iteration order through a helper — the canonical
+// leak this analyzer exists to catch.
+func Keys(m map[int]string) []int {
+	return keys(m) // want `Keys returns a value tainted by map iteration order \(via a\.keys`
+}
+
+func keys(m map[int]string) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// SortedKeys is the sanctioned shape: the sort kills the map-order taint
+// before the value escapes.
+func SortedKeys(m map[int]string) []int {
+	ks := keys(m)
+	sort.Ints(ks)
+	return ks
+}
+
+// Stamp launders the wall clock through a helper.
+func Stamp() float64 {
+	return now() // want `Stamp returns a value tainted by the wall clock \(via a\.now`
+}
+
+func now() float64 { return float64(time.Now().UnixNano()) }
+
+// Jitter launders math/rand's global source through a helper.
+func Jitter() float64 {
+	return roll() // want `Jitter returns a value tainted by math/rand's global source \(via a\.roll`
+}
+
+func roll() float64 { return rand.Float64() }
+
+// Stream uses a seeded stream: methods on *rand.Rand are reproducible
+// and clean by design.
+func Stream(seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	return []float64{r.Float64(), r.Float64()}
+}
+
+// FillKeys propagates map-order taint through an out-parameter write two
+// frames deep.
+func FillKeys(m map[int]string, out *[]int) {
+	fillKeys(m, out) // want `FillKeys writes data tainted by map iteration order through parameter 1 \(via a\.fillKeys`
+}
+
+func fillKeys(m map[int]string, out *[]int) {
+	for k := range m {
+		*out = append(*out, k)
+	}
+}
+
+// Launder shows pass-through tracking: ident contributes no taint of its
+// own, but the map-order taint rides its parameter into the result.
+func Launder(m map[int]string) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ident(ks) // want `Launder returns a value tainted by map iteration order \(via a\.ident`
+}
+
+func ident(x []int) []int { return x }
+
+// Values is direct — no call chain — so it is detordering's problem, not
+// detflow's. No diagnostic here.
+func Values(m map[int]string) []string {
+	var vs []string
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	return vs
+}

@@ -1,0 +1,16 @@
+// Package dfdep is the dependency side of the cross-package determinism
+// fixture: UnsortedKeys' map-order taint must travel to importers as a
+// fact.
+package dfdep
+
+// UnsortedKeys returns map keys in iteration order. Its summary carries
+// the taint; it is reported (if at all) at importing sinks, not here —
+// the taint is born in this very function, so detordering owns the
+// intra-procedural case.
+func UnsortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,21 @@
+// Package dfx closes the cross-package chain: map-order taint crosses
+// from dfdep into this package's exported surface via an imported fact.
+package dfx
+
+import (
+	"sort"
+
+	"dfdep"
+)
+
+// Names leaks dfdep's map-order taint straight through.
+func Names(m map[string]int) []string {
+	return dfdep.UnsortedKeys(m) // want `Names returns a value tainted by map iteration order \(via dfdep\.UnsortedKeys`
+}
+
+// SortedNames sanitizes before returning.
+func SortedNames(m map[string]int) []string {
+	ks := dfdep.UnsortedKeys(m)
+	sort.Strings(ks)
+	return ks
+}

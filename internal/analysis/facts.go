@@ -61,6 +61,20 @@ func (f *Facts) Import(key string, into any) bool {
 // Len returns the number of stored facts.
 func (f *Facts) Len() int { return len(f.entries) }
 
+// KeysWithPrefix returns every stored key beginning with prefix, sorted.
+// The callgraph package uses it to enumerate method-set facts across all
+// packages analyzed so far.
+func (f *Facts) KeysWithPrefix(prefix string) []string {
+	var out []string
+	for k := range f.entries {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Packages returns the sorted package paths that have exported facts.
 func (f *Facts) Packages() []string {
 	seen := map[string]bool{}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/lockorder"
+)
+
+func TestSeededABBA(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "a")
+}
+
+func TestCrossPackageCycle(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lockx")
+}

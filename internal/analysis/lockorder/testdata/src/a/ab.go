@@ -1,0 +1,119 @@
+// Package a seeds the classic AB/BA deadlock: f nests A→B while g nests
+// B→A, h launders the A→B edge through a helper, and the clean functions
+// prove consistent nesting and the sanctioned idioms stay silent.
+package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+var (
+	ga A
+	gb B
+	gc C
+)
+
+func f() {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	gb.mu.Lock() // want `potential deadlock: a\.f acquires a\.\(B\)\.mu while holding a\.\(A\)\.mu; reverse path: a\.\(B\)\.mu -> a\.\(A\)\.mu at `
+	gb.mu.Unlock()
+}
+
+func g() {
+	gb.mu.Lock()
+	defer gb.mu.Unlock()
+	ga.mu.Lock() // want `potential deadlock: a\.g acquires a\.\(A\)\.mu while holding a\.\(B\)\.mu; reverse path: a\.\(A\)\.mu -> a\.\(B\)\.mu at `
+	ga.mu.Unlock()
+}
+
+// h creates the same A→B edge as f, but two helpers deep: the summary
+// machinery must surface the laundered acquisition with its call chain.
+func h() {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	lockB() // want `potential deadlock: a\.h acquires a\.\(B\)\.mu while holding a\.\(A\)\.mu \(via a\.lockB -> a\.reallyLockB\)`
+}
+
+func lockB() { reallyLockB() }
+
+func reallyLockB() {
+	gb.mu.Lock()
+	gb.mu.Unlock()
+}
+
+// selfNest re-acquires a non-reentrant mutex.
+func selfNest() {
+	ga.mu.Lock()
+	ga.mu.Lock() // want `potential self-deadlock: a\.selfNest acquires a\.\(A\)\.mu while already holding it`
+	ga.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+// ok1 and ok2 nest A→C consistently: an edge with no reverse is fine.
+func ok1() {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	gc.mu.Lock()
+	gc.mu.Unlock()
+}
+
+func ok2() {
+	ga.mu.Lock()
+	gc.mu.Lock()
+	gc.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+// spawner holds A while a goroutine takes B: the goroutine's acquisition
+// does not nest with the spawner's held set, so no A→B edge arises here
+// (and hence no report, even though g provides the reverse edge).
+func spawner() {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	go func() {
+		gb.mu.Lock()
+		gb.mu.Unlock()
+	}()
+}
+
+type R struct{ mu sync.RWMutex }
+
+var gr R
+
+// upgrade mirrors obs.Registry's double-checked idiom: RLock is released
+// before Lock, so no self-edge exists.
+func upgrade() int {
+	gr.mu.RLock()
+	v := 1
+	gr.mu.RUnlock()
+	gr.mu.Lock()
+	defer gr.mu.Unlock()
+	return v
+}
+
+// branches only ever holds A on one arm; the may-held union must still
+// catch the nested acquisition on that arm.
+func branches(cond bool) {
+	if cond {
+		ga.mu.Lock()
+	}
+	gc.mu.Lock()
+	gc.mu.Unlock()
+	if cond {
+		ga.mu.Unlock()
+	}
+}
+
+// localOnly uses a function-local mutex: no stable class, never tracked.
+func localOnly() {
+	var mu sync.Mutex
+	mu.Lock()
+	gb.mu.Lock()
+	gb.mu.Unlock()
+	mu.Unlock()
+}

@@ -1,0 +1,17 @@
+// Package lockdep is the dependency side of the cross-package cycle
+// fixture: its exported WithG acquires G.Mu, and the summary fact carries
+// that acquisition into importing packages.
+package lockdep
+
+import "sync"
+
+type T struct{ Mu sync.Mutex }
+
+var G T
+
+// WithG runs under G.Mu — a leaf acquisition, no ordering edge here.
+func WithG(n int) int {
+	G.Mu.Lock()
+	defer G.Mu.Unlock()
+	return n + 1
+}

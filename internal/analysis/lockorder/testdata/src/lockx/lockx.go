@@ -1,0 +1,27 @@
+// Package lockx closes a lock cycle across a package boundary: one nests
+// its own lock around lockdep's (through lockdep.WithG's summary fact),
+// two nests the other way by locking the exported mutex directly.
+package lockx
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+type S struct{ mu sync.Mutex }
+
+var s S
+
+func one() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = lockdep.WithG(1) // want `potential deadlock: lockx\.one acquires lockdep\.\(T\)\.Mu while holding lockx\.\(S\)\.mu \(via lockdep\.WithG\)`
+}
+
+func two() {
+	lockdep.G.Mu.Lock()
+	s.mu.Lock() // want `potential deadlock: lockx\.two acquires lockx\.\(S\)\.mu while holding lockdep\.\(T\)\.Mu; reverse path: lockx\.\(S\)\.mu -> lockdep\.\(T\)\.Mu at `
+	s.mu.Unlock()
+	lockdep.G.Mu.Unlock()
+}

@@ -1,0 +1,16 @@
+package purityflow_test
+
+import (
+	"testing"
+
+	"nontree/internal/analysis/analysistest"
+	"nontree/internal/analysis/purityflow"
+)
+
+func TestLaunderedMutations(t *testing.T) {
+	analysistest.Run(t, purityflow.Analyzer, "a")
+}
+
+func TestCrossPackageEffects(t *testing.T) {
+	analysistest.Run(t, purityflow.Analyzer, "pfx")
+}

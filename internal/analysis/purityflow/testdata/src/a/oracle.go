@@ -1,0 +1,108 @@
+// Package a exercises purityflow: mutations laundered through helper
+// chains out of oracle methods, against the clean per-call-workspace
+// idiom.
+package a
+
+import "sync"
+
+type Oracle struct {
+	scratch []float64
+	calls   int
+}
+
+// SinkDelays launders a receiver write two helpers deep.
+func (o *Oracle) SinkDelays(n int) []float64 {
+	out := make([]float64, n)
+	o.fill(out) // want `SinkDelays calls a\.\(Oracle\)\.fill -> a\.\(Oracle\)\.bump, which writes receiver state`
+	return out
+}
+
+func (o *Oracle) fill(out []float64) {
+	o.bump()
+	for i := range out {
+		out[i] = 1
+	}
+}
+
+func (o *Oracle) bump() { o.calls++ }
+
+var cache = map[int]float64{}
+
+// Evaluate writes a package-level memo table through a helper.
+func (o *Oracle) Evaluate(x int) float64 {
+	return memo(x) // want `Evaluate calls a\.memo, which writes package-level variable a\.cache`
+}
+
+func memo(x int) float64 {
+	v := float64(x)
+	cache[x] = v
+	return v
+}
+
+// Eval hands its receiver's scratch buffer to a helper that writes
+// through the slice parameter: the parameter effect re-classifies onto
+// the receiver at the call site.
+func (o *Oracle) Eval(n int) float64 {
+	scale(o.scratch) // want `Eval calls a\.scale, which writes receiver state`
+	return float64(n)
+}
+
+func scale(v []float64) {
+	if len(v) > 0 {
+		v[0] *= 2
+	}
+}
+
+type LitOracle struct{ hits int }
+
+// Eval mutates the receiver from inside a function literal: the captured
+// write re-classifies onto the receiver when the literal is invoked.
+func (l *LitOracle) Eval(x float64) float64 {
+	f := func() { l.hits++ }
+	f() // want `Eval calls a\.\(LitOracle\)\.Eval\$1, which writes receiver state`
+	return x
+}
+
+type Clean struct{ dim int }
+
+// SinkDelays is the sanctioned shape: per-call workspaces, helpers that
+// only write locals and their own out-parameters. No diagnostics.
+func (c *Clean) SinkDelays(n int) []float64 {
+	buf := newBuf(n)
+	fillLocal(buf)
+	return buf
+}
+
+func newBuf(n int) []float64 { return make([]float64, n) }
+
+func fillLocal(b []float64) {
+	for i := range b {
+		b[i] = 2
+	}
+}
+
+type MuOracle struct {
+	mu  sync.Mutex
+	buf []float64
+}
+
+// Evaluate also launders through a recursive helper pair — the SCC
+// fixpoint must converge and still surface the effect.
+func (m *MuOracle) Evaluate(n int) float64 {
+	return m.evenStep(n) // want `Evaluate calls a\.\(MuOracle\)\.evenStep, which writes receiver state`
+}
+
+func (m *MuOracle) evenStep(n int) float64 {
+	if n <= 0 {
+		m.buf = append(m.buf, 0)
+		return 0
+	}
+	return m.oddStep(n - 1)
+}
+
+func (m *MuOracle) oddStep(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return m.evenStep(n - 1)
+}

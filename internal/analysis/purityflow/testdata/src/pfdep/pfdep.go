@@ -1,0 +1,14 @@
+// Package pfdep is the dependency side of the cross-package purity
+// fixture: Bump's global write must travel to importers as a fact.
+package pfdep
+
+var Counter int
+
+// Bump mutates package state.
+func Bump() int {
+	Counter++
+	return Counter
+}
+
+// Pure is effect-free.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,17 @@
+// Package pfx closes the cross-package chain: its oracle calls into
+// pfdep, whose summary fact carries the global write across the package
+// boundary.
+package pfx
+
+import "pfdep"
+
+type O struct{ v int }
+
+func (o *O) Eval(x float64) float64 {
+	_ = pfdep.Bump() // want `Eval calls pfdep\.Bump, which writes package-level variable pfdep\.Counter`
+	return x
+}
+
+func (o *O) Evaluate(x int) float64 {
+	return float64(pfdep.Pure(x)) // a pure cross-package call is fine
+}

@@ -96,6 +96,71 @@ func RunStale(w io.Writer, dir string, analyzers []*Analyzer, facts map[string]*
 	return diags, staleAllows(pkgs, analyzers), nil
 }
 
+// Result is the full outcome of a RunAudit: unsuppressed diagnostics,
+// the findings //nontree:allow annotations absorbed, the annotations that
+// absorbed nothing, and how many packages were analyzed. It is the single
+// source for nontree-lint's text, -json, and -annotations outputs.
+type Result struct {
+	// Diags are the unsuppressed diagnostics, sorted by position.
+	Diags []Diagnostic
+	// Suppressed are diagnostics an annotation absorbed, sorted.
+	Suppressed []Diagnostic
+	// Stale are the annotations that suppress nothing, sorted.
+	Stale []StaleAllow
+	// Packages is the number of packages loaded and analyzed.
+	Packages int
+}
+
+// RunAudit is the superset driver: RunFacts plus suppressed-diagnostic
+// capture plus the staleness sweep, in one load. Unsuppressed diagnostics
+// are printed to w as they are in Run; everything else is only returned.
+func RunAudit(w io.Writer, dir string, analyzers []*Analyzer, facts map[string]*Facts, patterns ...string) (Result, error) {
+	loader := NewLoader()
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return Result{}, err
+	}
+	if facts == nil {
+		facts = map[string]*Facts{}
+	}
+	for _, a := range analyzers {
+		if facts[a.Name] == nil {
+			facts[a.Name] = NewFacts()
+		}
+	}
+	res := Result{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.InScope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Facts:    facts[a.Name],
+				allow:    pkg.allowIdx(),
+				report:   func(d Diagnostic) { res.Diags = append(res.Diags, d) },
+				suppressed: func(d Diagnostic) {
+					res.Suppressed = append(res.Suppressed, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return Result{}, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	SortDiagnostics(res.Diags)
+	SortDiagnostics(res.Suppressed)
+	for _, d := range res.Diags {
+		fmt.Fprintln(w, d)
+	}
+	res.Stale = staleAllows(pkgs, analyzers)
+	return res, nil
+}
+
 // staleAllows sweeps the allow indexes the run populated. It must run
 // after every analyzer has been applied to every package — usage marks
 // accumulate on the shared per-package index.

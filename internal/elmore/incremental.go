@@ -41,6 +41,14 @@ import (
 // (AdditionBound, WideningBound): upper bounds on how much any node's delay
 // can drop under a candidate, computed from the base delays and shortest-
 // path resistances alone, before any linear algebra.
+//
+// Incremental is deliberately stateful — its solve cache and epoch
+// counter mutate on evaluation — which is why it is the sanctioned
+// exception to the oracle purity contract: one instance serves one
+// goroutine, the epochcheck analyzer rejects probes against a stale
+// factorization, and the oraclesafety and purityflow analyzers exempt
+// exactly this type (and nothing else) from their no-shared-writes rule
+// (DESIGN.md §14).
 type Incremental struct {
 	topo  *graph.Topology
 	p     rc.Params

@@ -10,6 +10,12 @@ import (
 // histograms and timing histograms. All methods are safe for concurrent
 // use; the mutex only guards the name→metric maps, every update after
 // lookup is lock-free.
+//
+// Lock order: mu is a leaf lock — no Registry method calls out of the
+// package while holding it (the RLock→RUnlock→Lock upgrade in the lookup
+// path stays inside this file), so it nests safely under any caller's
+// lock. The lockorder analyzer verifies this stays acyclic (DESIGN.md
+// §14).
 type Registry struct {
 	mu sync.RWMutex
 	//nontree:guardedby mu

@@ -99,6 +99,10 @@ type Server struct {
 	inflight atomic.Int64
 	traceSeq atomic.Uint64
 
+	// mu is the outermost lock of the daemon: it may be held while calling
+	// into trace.Ring and obs.Registry (both leaf locks), never the
+	// reverse. The lockorder analyzer verifies the Server → Ring/Registry
+	// nesting stays acyclic (DESIGN.md §14).
 	mu sync.Mutex
 	// traces maps trace id → element in order.
 	//nontree:guardedby mu

@@ -21,6 +21,11 @@ const DefaultRingCapacity = 4096
 // recent events. Emission assigns monotonically increasing sequence
 // numbers, so even after wraparound the retained tail reports how much
 // history it lost (Dropped). Safe for concurrent use.
+//
+// Lock order: mu is a leaf lock — no Ring method calls out of the package
+// while holding it, so it can safely be acquired under any caller's lock
+// (serve.Server holds its mu across trace reads). The lockorder analyzer
+// verifies this nesting stays acyclic (DESIGN.md §14).
 type Ring struct {
 	mu sync.Mutex
 	//nontree:guardedby mu
