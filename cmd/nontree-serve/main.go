@@ -34,22 +34,30 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nontree-serve: ")
-	if err := realMain(); err != nil {
+	if err := realMain(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func realMain() error {
+// realMain is main minus the exit: it owns its flag set and returns errors,
+// so tests can run the full daemon lifecycle in-process.
+func realMain(args []string) error {
+	fs := flag.NewFlagSet("nontree-serve", flag.ContinueOnError)
 	var (
-		addr          = flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
-		readyFile     = flag.String("ready-file", "", "after listening, write the actual address to this file (CI port discovery)")
-		maxConcurrent = flag.Int("max-concurrent", 0, "simultaneous /route requests before shedding with 429 (0 = 2×GOMAXPROCS)")
-		traceCap      = flag.Int("trace-capacity", 1<<16, "per-request trace ring capacity (events)")
-		maxTraces     = flag.Int("max-traces", 64, "retained traces before evicting the oldest")
-		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "per-request /route wall-clock bound")
-		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		addr          = fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		readyFile     = fs.String("ready-file", "", "after listening, write the actual address to this file (CI port discovery)")
+		maxConcurrent = fs.Int("max-concurrent", 0, "simultaneous /route requests before shedding with 429 (0 = 2×GOMAXPROCS)")
+		traceCap      = fs.Int("trace-capacity", 1<<16, "per-request trace ring capacity (events)")
+		maxTraces     = fs.Int("max-traces", 64, "retained traces before evicting the oldest")
+		reqTimeout    = fs.Duration("request-timeout", 60*time.Second, "per-request /route wall-clock bound")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	s := serve.New(serve.Options{
 		MaxConcurrent:  *maxConcurrent,
@@ -82,6 +90,7 @@ func realMain() error {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
 
 	select {
 	case err := <-errc:

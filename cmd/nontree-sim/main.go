@@ -1,0 +1,294 @@
+// Command nontree-sim is the fleet-scale workload simulator and soak
+// harness: it generates a deterministic, seeded request stream (mixed pin
+// counts, uniform/Poisson/burst arrivals, Zipf hot-key skew) and replays it
+// — open- or closed-loop, optionally through a concurrency ramp — against
+// live nontree-serve instances or a hermetic in-process daemon, then emits
+// a schema-stable SIM_*.json report gated by SLO bounds.
+//
+// Usage:
+//
+//	nontree-sim -seed 42 -dry -fingerprint             # pin the stream identity
+//	nontree-sim -seed 42 -dry -stream workload.json    # materialize the stream
+//	nontree-sim -seed 42 -inprocess -out SIM.json      # hermetic soak
+//	nontree-sim -seed 42 -requests 1200 -qps 40 -arrival poisson -zipf 1.2 \
+//	    -targets http://127.0.0.1:8080 -mode open \
+//	    -slo-error-rate 0 -slo-p99 2.0 -out SIM.json   # CI soak with gate
+//
+// The exit status is non-zero when any SLO bound is violated; the report is
+// still written first, with the violations recorded in it.
+//
+// Determinism contract: for a fixed spec (seed + knobs) the generated
+// stream — and therefore -stream output and -fingerprint — is
+// byte-identical across runs, machines and PRs. Only the drive (wall-clock
+// latencies, throughput, scraped server counters) varies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nontree/internal/serve"
+	"nontree/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nontree-sim: ")
+	if err := realMain(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// realMain is main minus the exit: it owns its flag set, writes to the
+// given stdout, and reports SLO violations as an error (main turns any
+// error into a non-zero exit), so tests can drive full soaks in-process.
+func realMain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("nontree-sim", flag.ContinueOnError)
+	var (
+		specFile = fs.String("spec", "", "workload spec JSON file (flags below override its fields)")
+		seed     = fs.Int64("seed", 42, "workload seed; equal specs generate byte-identical streams")
+		requests = fs.Int("requests", 0, "stream length (0 = spec default)")
+		qps      = fs.Float64("qps", 0, "target arrival rate, requests/second (0 = spec default)")
+		arrival  = fs.String("arrival", "", "arrival process: uniform, poisson, burst")
+		burst    = fs.Int("burst", 0, "simultaneous requests per burst (arrival=burst)")
+		pins     = fs.String("pins", "", "pin-count mix as pins:weight pairs, e.g. 5:3,10:2,20:1")
+		keys     = fs.Int("keys", 0, "distinct nets; requests pick among them (0 = spec default)")
+		zipf     = fs.Float64("zipf", 0, "Zipf skew s for key popularity (0 = uniform; else s > 1)")
+		algo     = fs.String("algo", "", "algorithm every request carries: ldrg, sldrg, taps, h1, h2, h3")
+		oracle   = fs.String("oracle", "", "oracle every request carries: elmore, twopole, spice")
+		workers  = fs.Int("route-workers", 0, "per-request sweep workers (0 = server default)")
+		maxEdges = fs.Int("max-edges", 0, "per-request added-edge cap (0 = to convergence)")
+
+		targets     = fs.String("targets", "", "comma-separated daemon base URLs; requests shard across them by key")
+		inprocess   = fs.Bool("inprocess", false, "drive a hermetic in-process daemon instead of -targets")
+		maxConc     = fs.Int("max-concurrent", 0, "in-process daemon concurrency limit (0 = 2×GOMAXPROCS)")
+		mode        = fs.String("mode", sim.ModeClosed, "drive mode: closed (worker pool) or open (replay the arrival schedule)")
+		concurrency = fs.Int("concurrency", 8, "closed-loop worker-pool size (ignored when -ramp is set)")
+		ramp        = fs.String("ramp", "", "closed-loop concurrency ramp as requests x workers stages, e.g. 100x2,200x8")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+		scrape      = fs.Bool("scrape", true, "scrape target /metrics before and after the drive")
+
+		out         = fs.String("out", "", "write the SIM report JSON here (default: stdout)")
+		stream      = fs.String("stream", "", "write the generated workload stream JSON here")
+		fingerprint = fs.Bool("fingerprint", false, "print the workload fingerprint to stdout")
+		dry         = fs.Bool("dry", false, "generate (and optionally write) the workload, but do not drive it")
+
+		sloP50       = fs.Float64("slo-p50", 0, "fail if p50 latency exceeds this many seconds (0 = ungated)")
+		sloP99       = fs.Float64("slo-p99", 0, "fail if p99 latency exceeds this many seconds (0 = ungated)")
+		sloErrorRate = fs.Float64("slo-error-rate", -1, "fail if the error rate exceeds this (0 = none allowed; negative = ungated)")
+		sloShedRate  = fs.Float64("slo-shed-rate", -1, "fail if the shed rate exceeds this (negative = ungated)")
+		sloMinQPS    = fs.Float64("slo-min-qps", 0, "fail if achieved throughput falls below this (0 = ungated)")
+		sloDrain     = fs.Bool("slo-drain", false, "fail unless the post-drive drain probe is clean (needs -inprocess)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	// Resolve the spec: file first, then explicit flags override.
+	var spec sim.WorkloadSpec
+	if *specFile != "" {
+		f, err := os.Open(*specFile)
+		if err != nil {
+			return err
+		}
+		spec, err = sim.ReadSpec(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	spec.Seed = *seed
+	if *requests > 0 {
+		spec.Requests = *requests
+	}
+	if *qps > 0 {
+		spec.QPS = *qps
+	}
+	if *arrival != "" {
+		spec.Arrival = sim.Arrival(*arrival)
+	}
+	if *burst > 0 {
+		spec.BurstSize = *burst
+	}
+	if *pins != "" {
+		mix, err := parsePinMix(*pins)
+		if err != nil {
+			return err
+		}
+		spec.PinMix = mix
+	}
+	if *keys > 0 {
+		spec.Keys = *keys
+	}
+	if *zipf != 0 {
+		spec.ZipfS = *zipf
+	}
+	if *algo != "" {
+		spec.Algo = *algo
+	}
+	if *oracle != "" {
+		spec.Oracle = *oracle
+	}
+	if *workers > 0 {
+		spec.RouteWorkers = *workers
+	}
+	if *maxEdges > 0 {
+		spec.MaxEdges = *maxEdges
+	}
+
+	w, err := sim.Generate(spec)
+	if err != nil {
+		return err
+	}
+	if *stream != "" {
+		f, err := os.Create(*stream)
+		if err != nil {
+			return err
+		}
+		if err := w.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *fingerprint {
+		fmt.Fprintln(stdout, w.Fingerprint())
+	}
+	if *dry {
+		return nil
+	}
+
+	opts := sim.DriveOptions{
+		Mode:        *mode,
+		Concurrency: *concurrency,
+		Timeout:     *timeout,
+		Scrape:      *scrape,
+	}
+	if *ramp != "" {
+		if opts.Ramp, err = parseRamp(*ramp); err != nil {
+			return err
+		}
+	}
+	var srv *serve.Server
+	if *inprocess {
+		if *targets != "" {
+			return fmt.Errorf("-inprocess and -targets are mutually exclusive")
+		}
+		srv = serve.New(serve.Options{MaxConcurrent: *maxConc})
+		opts.Transport = srv.InProcessTransport()
+	} else {
+		if *targets == "" {
+			return fmt.Errorf("need -targets URL[,URL...] or -inprocess (or -dry to only generate)")
+		}
+		for _, target := range strings.Split(*targets, ",") {
+			target = strings.TrimSuffix(strings.TrimSpace(target), "/")
+			if !strings.HasPrefix(target, "http://") && !strings.HasPrefix(target, "https://") {
+				return fmt.Errorf("target %q is not an http(s) base URL", target)
+			}
+			opts.Targets = append(opts.Targets, target)
+		}
+		if *sloDrain {
+			return fmt.Errorf("-slo-drain needs -inprocess (remote daemons drain via SIGTERM, checked by CI)")
+		}
+	}
+
+	report, err := sim.Drive(w, opts)
+	if err != nil {
+		return err
+	}
+	report.Environment = map[string]string{
+		"go_version": runtime.Version(),
+		"go_os":      runtime.GOOS,
+		"go_arch":    runtime.GOARCH,
+	}
+	if srv != nil {
+		d := sim.ProbeDrain(srv)
+		report.Drain = &d
+	}
+
+	slo := sim.SLO{
+		MaxP50Seconds:    *sloP50,
+		MaxP99Seconds:    *sloP99,
+		MaxErrorRate:     *sloErrorRate,
+		MaxShedRate:      *sloShedRate,
+		MinThroughputQPS: *sloMinQPS,
+		RequireDrain:     *sloDrain,
+	}
+	if !slo.Empty() {
+		report.SLO = &slo
+		report.Violations = slo.Gate(report)
+	}
+
+	// Write the report before gating, so a failed run still leaves its
+	// evidence behind (CI uploads it as an artifact either way).
+	dest := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dest = f
+	}
+	if err := report.WriteJSON(dest); err != nil {
+		return err
+	}
+	if len(report.Violations) > 0 {
+		return fmt.Errorf("SLO violated:\n  %s", strings.Join(report.Violations, "\n  "))
+	}
+	return nil
+}
+
+// parsePinMix parses "5:3,10:2,20:1" into a PinMix slice.
+func parsePinMix(s string) ([]sim.PinMix, error) {
+	var mix []sim.PinMix
+	for _, part := range strings.Split(s, ",") {
+		pinStr, weightStr, found := strings.Cut(strings.TrimSpace(part), ":")
+		weight := 1.0
+		if found {
+			var err error
+			if weight, err = strconv.ParseFloat(weightStr, 64); err != nil {
+				return nil, fmt.Errorf("bad -pins entry %q: weight: %w", part, err)
+			}
+		}
+		p, err := strconv.Atoi(pinStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -pins entry %q: %w", part, err)
+		}
+		mix = append(mix, sim.PinMix{Pins: p, Weight: weight})
+	}
+	return mix, nil
+}
+
+// parseRamp parses "100x2,200x8" into ramp stages.
+func parseRamp(s string) ([]sim.RampStage, error) {
+	var stages []sim.RampStage
+	for _, part := range strings.Split(s, ",") {
+		reqStr, concStr, found := strings.Cut(strings.TrimSpace(part), "x")
+		if !found {
+			return nil, fmt.Errorf("bad -ramp stage %q: want REQUESTSxWORKERS", part)
+		}
+		req, err := strconv.Atoi(reqStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -ramp stage %q: %w", part, err)
+		}
+		conc, err := strconv.Atoi(concStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -ramp stage %q: %w", part, err)
+		}
+		stages = append(stages, sim.RampStage{Requests: req, Concurrency: conc})
+	}
+	return stages, nil
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nontree/internal/sim"
+)
+
+// simArgs are the shared fast-workload flags: tiny 3-pin nets through the
+// cheap h1 heuristic.
+func simArgs(extra ...string) []string {
+	return append([]string{
+		"-seed", "42", "-requests", "16", "-keys", "4", "-pins", "3:1", "-algo", "h1",
+	}, extra...)
+}
+
+// TestStreamByteIdentical is the PR's acceptance criterion: two runs with
+// the same seed must produce byte-identical workload streams and equal
+// fingerprints.
+func TestStreamByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	var streams [2][]byte
+	var prints [2]string
+	for i := range streams {
+		path := filepath.Join(dir, fmt.Sprintf("stream%d.json", i))
+		var stdout bytes.Buffer
+		if err := realMain(simArgs("-dry", "-fingerprint", "-stream", path), &stdout); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = raw
+		prints[i] = stdout.String()
+	}
+	if !bytes.Equal(streams[0], streams[1]) {
+		t.Fatal("two -seed 42 runs wrote different workload streams")
+	}
+	if prints[0] != prints[1] || len(strings.TrimSpace(prints[0])) != 64 {
+		t.Fatalf("fingerprints disagree or are malformed: %q vs %q", prints[0], prints[1])
+	}
+}
+
+// TestInProcessSoak drives a full hermetic soak and checks the report.
+func TestInProcessSoak(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "SIM_test.json")
+	err := realMain(simArgs(
+		"-inprocess", "-concurrency", "2", "-out", out,
+		"-slo-error-rate", "0", "-slo-p99", "30", "-slo-drain",
+	), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sim.LoadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Totals.OK != 16 || report.Totals.Errors != 0 {
+		t.Fatalf("totals = %+v, want 16 clean successes", report.Totals)
+	}
+	if len(report.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", report.Violations)
+	}
+	if report.Drain == nil || !report.Drain.Clean() {
+		t.Fatalf("drain probe missing or dirty: %+v", report.Drain)
+	}
+	if report.Server == nil || report.Server.Delta["nontree_serve_route_requests_total"] != 16 {
+		t.Fatalf("scrape missing or wrong: %+v", report.Server)
+	}
+	if report.Environment["go_version"] == "" {
+		t.Fatal("environment not stamped")
+	}
+}
+
+// TestSLOViolationFailsAndStillWritesReport forces an impossible throughput
+// bound: the run must fail, and the report must still land on disk with the
+// violation recorded.
+func TestSLOViolationFailsAndStillWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "SIM_fail.json")
+	err := realMain(simArgs("-inprocess", "-out", out, "-slo-min-qps", "1e12"), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "SLO violated") {
+		t.Fatalf("err = %v, want SLO violation", err)
+	}
+	report, err := sim.LoadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) != 1 || !strings.Contains(report.Violations[0], "throughput") {
+		t.Fatalf("violations = %v, want the throughput breach", report.Violations)
+	}
+}
+
+// TestSpecFileWithFlagOverrides checks -spec + flag precedence.
+func TestSpecFileWithFlagOverrides(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(`{"requests":8,"keys":2,"arrival":"burst","burst_size":4,"pin_mix":[{"pins":3,"weight":1}],"algo":"h1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	streamPath := filepath.Join(dir, "stream.json")
+	if err := realMain([]string{"-spec", specPath, "-seed", "7", "-requests", "12", "-dry", "-stream", streamPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w sim.Workload
+	if err := json.Unmarshal(raw, &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Spec.Requests != 12 || w.Spec.Seed != 7 {
+		t.Fatalf("flag overrides not applied: %+v", w.Spec)
+	}
+	if w.Spec.Arrival != sim.ArrivalBurst || w.Spec.BurstSize != 4 {
+		t.Fatalf("spec-file fields lost: %+v", w.Spec)
+	}
+}
+
+// TestFlagErrors covers the rejection paths.
+func TestFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown-flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"positional", []string{"extra"}, "unexpected arguments"},
+		{"no-targets", simArgs(), "need -targets"},
+		{"targets-and-inprocess", simArgs("-inprocess", "-targets", "http://x"), "mutually exclusive"},
+		{"bad-target", simArgs("-targets", "localhost:8080"), "not an http(s) base URL"},
+		{"bad-pins", simArgs("-pins", "five:1"), "bad -pins"},
+		{"bad-ramp", simArgs("-inprocess", "-ramp", "100"), "bad -ramp"},
+		{"bad-arrival", simArgs("-arrival", "fractal", "-dry"), "unknown arrival"},
+		{"bad-algo", simArgs("-algo", "dijkstra", "-dry"), "unknown algorithm"},
+		{"drain-needs-inprocess", simArgs("-targets", "http://x", "-slo-drain"), "-slo-drain needs -inprocess"},
+		{"missing-spec-file", []string{"-spec", "/nonexistent/spec.json", "-dry"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := realMain(tc.args, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParsePinMix pins the mix grammar, including weightless entries.
+func TestParsePinMix(t *testing.T) {
+	mix, err := parsePinMix("5:3, 10:2,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.PinMix{{Pins: 5, Weight: 3}, {Pins: 10, Weight: 2}, {Pins: 20, Weight: 1}}
+	if len(mix) != len(want) {
+		t.Fatalf("mix = %v, want %v", mix, want)
+	}
+	for i := range mix {
+		if mix[i] != want[i] {
+			t.Fatalf("mix = %v, want %v", mix, want)
+		}
+	}
+}
+
+// TestParseRamp pins the ramp grammar.
+func TestParseRamp(t *testing.T) {
+	stages, err := parseRamp("100x2, 200x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.RampStage{{Requests: 100, Concurrency: 2}, {Requests: 200, Concurrency: 8}}
+	if len(stages) != len(want) || stages[0] != want[0] || stages[1] != want[1] {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"nontree/internal/sim"
+)
+
+// Schema regression against the committed artifact: every key path that
+// SIM_PR9.json ever emitted must still be produced by a fresh soak run.
+// New keys may appear freely; a vanished key fails — the same
+// schema-stability contract BENCH_PR4.json carries for the bench harness.
+
+// keyPaths collects every JSON object key path in v, with array elements
+// collapsed to "[]" and map-valued keys collapsed to "*" under sections
+// whose keys are data rather than schema (metric names, status codes,
+// histogram bucket indices, environment names).
+func keyPaths(prefix string, v any, out map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		wild := false
+		switch lastSegment(prefix) {
+		case "status_counts", "buckets", "environment", "before", "after", "delta":
+			wild = true
+		}
+		for k, child := range x {
+			name := k
+			if wild {
+				name = "*"
+			}
+			p := prefix + "." + name
+			out[p] = true
+			keyPaths(p, child, out)
+		}
+	case []any:
+		for _, child := range x {
+			keyPaths(prefix+".[]", child, out)
+		}
+	}
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func loadPaths(t *testing.T, raw []byte) map[string]bool {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	paths := make(map[string]bool)
+	keyPaths("$", doc, paths)
+	return paths
+}
+
+// freshReport runs a small in-process soak configured like the committed
+// baseline (scrape + drain + SLO, so every optional section is emitted).
+func freshReport(t *testing.T) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "SIM_fresh.json")
+	err := realMain(simArgs(
+		"-arrival", "poisson", "-zipf", "1.2",
+		"-inprocess", "-out", out,
+		"-slo-error-rate", "0", "-slo-p99", "30", "-slo-drain",
+	), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestSimSchemaMatchesCommittedArtifact(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "SIM_PR9.json"))
+	if err != nil {
+		t.Fatalf("reading committed artifact (regenerate with `go run ./cmd/nontree-sim "+
+			"-seed 42 -requests 256 -qps 200 -arrival poisson -zipf 1.2 -keys 16 -inprocess "+
+			"-concurrency 4 -slo-error-rate 0 -slo-p99 30 -slo-drain -out SIM_PR9.json`): %v", err)
+	}
+	oldPaths := loadPaths(t, committed)
+	newPaths := loadPaths(t, freshReport(t))
+
+	var missing []string
+	for p := range oldPaths {
+		if !newPaths[p] {
+			missing = append(missing, p)
+		}
+	}
+	sort.Strings(missing)
+	for _, p := range missing {
+		t.Errorf("schema regression: key path %s present in committed SIM_PR9.json "+
+			"but absent from a fresh soak run", p)
+	}
+}
+
+// TestCommittedArtifactContent pins the baseline's content guarantees: the
+// declared schema version, a clean run (no violations, zero errors), a
+// clean drain, and a workload fingerprint the generator still reproduces.
+func TestCommittedArtifactContent(t *testing.T) {
+	report, err := sim.LoadReport(filepath.Join("..", "..", "SIM_PR9.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Totals.Errors != 0 || len(report.Violations) != 0 {
+		t.Errorf("committed baseline is not clean: errors=%d violations=%v",
+			report.Totals.Errors, report.Violations)
+	}
+	if report.Drain == nil || !report.Drain.Clean() {
+		t.Errorf("committed baseline lacks a clean drain check: %+v", report.Drain)
+	}
+	if report.SLO == nil || report.SLO.Empty() {
+		t.Error("committed baseline carries no SLO gate")
+	}
+	// The baseline's stream must still be generatable bit-for-bit: its
+	// fingerprint ties the committed serving numbers to an exact workload.
+	w, err := sim.Generate(report.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Fingerprint(); got != report.WorkloadFingerprint {
+		t.Errorf("generator no longer reproduces the baseline stream:\n got %s\nwant %s\n"+
+			"(workload generation changed — regenerate SIM_PR9.json and update the golden fingerprints)",
+			got, report.WorkloadFingerprint)
+	}
+}

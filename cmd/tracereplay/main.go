@@ -29,25 +29,31 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracereplay: ")
-	if err := realMain(); err != nil {
+	if err := realMain(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func realMain() error {
+// realMain is main minus the exit: it owns its flag set and reports drift
+// as an error (main turns any error into a non-zero exit), so tests can
+// drive full replays in-process.
+func realMain(args []string) error {
+	fs := flag.NewFlagSet("tracereplay", flag.ContinueOnError)
 	var (
-		tracePath = flag.String("trace", "", "trace JSONL to verify (required; \"-\" reads stdin)")
-		request   = flag.String("request", "", "stored /route request JSON (the daemon's ?request=1 view)")
-		netFile   = flag.String("net", "", "net file (.json or text) to route")
-		genPins   = flag.Int("gen", 0, "generate a random net with this many pins")
-		seed      = flag.Int64("seed", 1, "seed for -gen")
-		algo      = flag.String("algo", "", "algorithm: ldrg, sldrg, taps, h1, h2, h3 (default ldrg)")
-		oracle    = flag.String("oracle", "", "oracle: elmore, twopole, spice (default elmore)")
-		workers   = flag.Int("workers", 0, "sweep workers (0 = one per CPU; any value replays identically)")
-		maxEdges  = flag.Int("maxedges", 0, "cap added edges (0 = to convergence)")
-		quiet     = flag.Bool("q", false, "suppress the success summary")
+		tracePath = fs.String("trace", "", "trace JSONL to verify (required; \"-\" reads stdin)")
+		request   = fs.String("request", "", "stored /route request JSON (the daemon's ?request=1 view)")
+		netFile   = fs.String("net", "", "net file (.json or text) to route")
+		genPins   = fs.Int("gen", 0, "generate a random net with this many pins")
+		seed      = fs.Int64("seed", 1, "seed for -gen")
+		algo      = fs.String("algo", "", "algorithm: ldrg, sldrg, taps, h1, h2, h3 (default ldrg)")
+		oracle    = fs.String("oracle", "", "oracle: elmore, twopole, spice (default elmore)")
+		workers   = fs.Int("workers", 0, "sweep workers (0 = one per CPU; any value replays identically)")
+		maxEdges  = fs.Int("maxedges", 0, "cap added edges (0 = to convergence)")
+		quiet     = fs.Bool("q", false, "suppress the success summary")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *tracePath == "" {
 		return fmt.Errorf("need -trace FILE (the exported JSONL)")
@@ -80,8 +86,8 @@ func realMain() error {
 	}
 
 	if drifts := trace.Diff(got, want); len(drifts) != 0 {
-		fmt.Fprintf(os.Stderr, "trace drift (%d events differ):\n%s\n", len(drifts), trace.FormatDrifts(drifts))
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "%s\n", trace.FormatDrifts(drifts))
+		return fmt.Errorf("trace drift: %d events differ", len(drifts))
 	}
 	if !*quiet {
 		fmt.Printf("replay ok: %d events, %d accepted edges, objective %.6g → %.6g\n",

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nontree/internal/netlist"
+	"nontree/internal/serve"
+	"nontree/internal/trace"
+)
+
+// recordTrace routes a generated net and writes its trace JSONL to a file,
+// returning the path — the same artifact the daemon's /traces/<id> exports.
+func recordTrace(t *testing.T, seed int64, pins int) string {
+	t.Helper()
+	net, err := netlist.NewGenerator(seed).Generate(pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := trace.NewRing(1 << 12)
+	if _, err := serve.Run(net, serve.RouteOptions{}, nil, ring); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayMatches is the happy path: a fresh run of the same workload
+// replays the recorded trace with zero drift.
+func TestReplayMatches(t *testing.T) {
+	path := recordTrace(t, 7, 6)
+	if err := realMain([]string{"-trace", path, "-gen", "6", "-seed", "7", "-q"}); err != nil {
+		t.Fatalf("identical replay reported drift: %v", err)
+	}
+}
+
+// TestReplayDriftFails is the contract the CI serve-smoke job leans on: a
+// different workload against the same trace must return an error (main
+// turns it into a non-zero exit).
+func TestReplayDriftFails(t *testing.T) {
+	path := recordTrace(t, 7, 6)
+	err := realMain([]string{"-trace", path, "-gen", "6", "-seed", "8", "-q"})
+	if err == nil || !strings.Contains(err.Error(), "trace drift") {
+		t.Fatalf("err = %v, want trace drift", err)
+	}
+}
+
+// TestFlagErrors covers the rejection paths.
+func TestFlagErrors(t *testing.T) {
+	traced := recordTrace(t, 7, 6)
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	request := filepath.Join(t.TempDir(), "request.json")
+	if err := os.WriteFile(request, []byte(`{"net":{"name":"n","pins":[{"x":0,"y":0},{"x":1,"y":1}]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown-flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"missing-trace", nil, "need -trace"},
+		{"absent-trace-file", []string{"-trace", "/nonexistent/trace.jsonl"}, "reading trace"},
+		{"empty-trace", []string{"-trace", empty}, "is empty"},
+		{"no-workload", []string{"-trace", traced}, "need -request FILE, -net FILE, or -gen N"},
+		{"net-and-gen", []string{"-trace", traced, "-net", "x.json", "-gen", "6"}, "not both"},
+		{"request-and-gen", []string{"-trace", traced, "-request", request, "-gen", "6"}, "drop -net/-gen"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := realMain(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReplayFromStoredRequest replays via the daemon's ?request=1
+// provenance artifact instead of regeneration flags.
+func TestReplayFromStoredRequest(t *testing.T) {
+	net, err := netlist.NewGenerator(3).Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := trace.NewRing(1 << 12)
+	if _, err := serve.Run(net, serve.RouteOptions{Algo: serve.AlgoH1}, nil, ring); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	raw, err := json.Marshal(serve.RouteRequest{Net: net, RouteOptions: serve.RouteOptions{Algo: serve.AlgoH1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqPath := filepath.Join(dir, "request.json")
+	if err := os.WriteFile(reqPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := realMain([]string{"-trace", tracePath, "-request", reqPath, "-q"}); err != nil {
+		t.Fatalf("stored-request replay reported drift: %v", err)
+	}
+}

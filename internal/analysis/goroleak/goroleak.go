@@ -38,6 +38,8 @@ var Analyzer = &analysis.Analyzer{
 		"internal/expt",
 		"cmd/nontree-serve",
 		"cmd/nontree-bench",
+		"internal/sim",
+		"cmd/nontree-sim",
 	},
 }
 

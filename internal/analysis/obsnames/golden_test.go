@@ -12,7 +12,7 @@ import (
 // TestCatalogMatchesObsNames pins the analyzer's catalog view — the
 // exported string constants of nontree/internal/obs — to the package's
 // own name lists (CounterNames ∪ HistogramNames ∪ ServeCounterNames ∪
-// TimingNames), exactly. A constant added without a list entry would
+// SimCounterNames ∪ TimingNames), exactly. A constant added without a list entry would
 // silently pass the lint while missing from preregistration; a list
 // entry without a constant could never be referenced from code. Both
 // directions fail here first.
@@ -39,6 +39,7 @@ func TestCatalogMatchesObsNames(t *testing.T) {
 		obs.CounterNames(),
 		obs.HistogramNames(),
 		obs.ServeCounterNames(),
+		obs.SimCounterNames(),
 		obs.TimingNames(),
 	} {
 		for _, name := range list {

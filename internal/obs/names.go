@@ -99,6 +99,24 @@ const (
 	CtrRouteRejected = "serve.route.rejected"
 	// CtrTraceEvictions counts traces evicted from the retention window.
 	CtrTraceEvictions = "serve.traces.evictions"
+
+	// --- package sim: the nontree-sim workload driver ---
+	//
+	// Sim counters live in their own catalog (SimCounterNames, preregistered
+	// by PreregisterSim) for the same schema-freezing reason as the serve
+	// catalog. They are client-side: they count requests the driver issued,
+	// mirroring the daemon's serve.route.* counters from the other end of
+	// the wire, so a soak report can reconcile both views.
+
+	// CtrSimRequests counts requests the workload driver issued.
+	CtrSimRequests = "sim.client.requests"
+	// CtrSimOK counts requests answered 200.
+	CtrSimOK = "sim.client.ok"
+	// CtrSimShed counts requests shed by the daemon (429 or drain 503).
+	CtrSimShed = "sim.client.shed"
+	// CtrSimErrors counts requests that failed any other way (transport
+	// errors, 4xx/5xx outside the shed statuses).
+	CtrSimErrors = "sim.client.errors"
 )
 
 // Histogram names (deterministic sections — integer-valued samples only).
@@ -120,6 +138,10 @@ const (
 	TimeSweepWorker = "core.sweep.worker.seconds"
 	// TimeRouteSeconds is the wall-clock /route handling distribution.
 	TimeRouteSeconds = "serve.route.seconds"
+	// TimeSimRequestSeconds is the workload driver's client-observed
+	// per-request latency distribution (includes the wire, unlike the
+	// server-side TimeRouteSeconds).
+	TimeSimRequestSeconds = "sim.client.request.seconds"
 )
 
 // CounterNames returns the full counter catalog.
@@ -169,10 +191,22 @@ func ServeCounterNames() []string {
 	}
 }
 
+// SimCounterNames returns the workload-driver counter catalog — disjoint
+// from CounterNames and ServeCounterNames so both existing snapshot
+// schemas stay frozen.
+func SimCounterNames() []string {
+	return []string{
+		CtrSimRequests,
+		CtrSimOK,
+		CtrSimShed,
+		CtrSimErrors,
+	}
+}
+
 // TimingNames returns the wall-clock timing catalog (Timings section —
 // excluded from determinism guarantees).
 func TimingNames() []string {
-	return []string{TimeSweep, TimeSweepWorker, TimeRouteSeconds}
+	return []string{TimeSweep, TimeSweepWorker, TimeRouteSeconds, TimeSimRequestSeconds}
 }
 
 // Preregister creates every cataloged counter (at zero) and histogram
@@ -196,4 +230,15 @@ func PreregisterServe(g *Registry) {
 		g.Add(name, 0)
 	}
 	g.DeclareTiming(TimeRouteSeconds)
+}
+
+// PreregisterSim creates the workload driver's counters and its latency
+// timing histogram, freezing the SIM_*.json snapshot key set the same way
+// PreregisterServe freezes the /metrics surface. sim drivers call this on
+// whatever registry they are handed.
+func PreregisterSim(g *Registry) {
+	for _, name := range SimCounterNames() {
+		g.Add(name, 0)
+	}
+	g.DeclareTiming(TimeSimRequestSeconds)
 }

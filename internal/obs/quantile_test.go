@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func histOf(samples ...float64) HistogramSnapshot {
+	g := NewRegistry()
+	for _, v := range samples {
+		g.Observe("h", v)
+	}
+	return g.Snapshot().Histograms["h"]
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h HistogramSnapshot
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+}
+
+func TestQuantileSingleSampleIsExact(t *testing.T) {
+	h := histOf(0.125)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.125 {
+			t.Errorf("Quantile(%g) = %g, want the only sample 0.125", q, got)
+		}
+	}
+}
+
+// TestQuantileWithinBucketResolution pins the accuracy contract: the
+// estimate for a known sample set stays within a factor of two of the true
+// order statistic (power-of-two buckets cannot do better).
+func TestQuantileWithinBucketResolution(t *testing.T) {
+	samples := make([]float64, 0, 1000)
+	g := NewRegistry()
+	for i := 1; i <= 1000; i++ {
+		v := float64(i) / 1000 // 0.001 .. 1.000
+		samples = append(samples, v)
+		g.Observe("h", v)
+	}
+	h := g.Snapshot().Histograms["h"]
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		truth := samples[int(q*1000)-1]
+		got := h.Quantile(q)
+		if got < truth/2 || got > truth*2 {
+			t.Errorf("Quantile(%g) = %g, want within 2x of %g", q, got, truth)
+		}
+	}
+}
+
+func TestQuantileMonotoneAndClamped(t *testing.T) {
+	h := histOf(0.004, 0.01, 0.02, 0.05, 0.3, 1.7, 2.1, 9.0)
+	prev := math.Inf(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%g) = %g < previous %g: not monotone", q, v, prev)
+		}
+		if v < h.Min || v > h.Max {
+			t.Errorf("Quantile(%g) = %g outside [%g, %g]", q, v, h.Min, h.Max)
+		}
+		prev = v
+	}
+	if got := h.Quantile(1); got != h.Max {
+		t.Errorf("Quantile(1) = %g, want Max %g", got, h.Max)
+	}
+}
+
+func TestPreregisterSimFreezesSchema(t *testing.T) {
+	g := NewRegistry()
+	PreregisterSim(g)
+	s := g.Snapshot()
+	for _, name := range SimCounterNames() {
+		if _, ok := s.Counters[name]; !ok {
+			t.Errorf("counter %s not preregistered", name)
+		}
+	}
+	if _, ok := s.Timings[TimeSimRequestSeconds]; !ok {
+		t.Errorf("timing %s not preregistered", TimeSimRequestSeconds)
+	}
+}

@@ -83,6 +83,56 @@ func (h *histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the histogram's samples
+// from its power-of-two buckets, interpolating linearly inside the bucket
+// the quantile falls into and clamping to the exact [Min, Max] range. The
+// estimate is within a factor of two of the true sample value — the bucket
+// resolution — which is the accuracy contract the sim SLO gates are
+// written against. Returns 0 when the histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	if target < 1 {
+		target = 1
+	}
+	idx := make([]int, 0, len(h.Buckets))
+	for i := range h.Buckets {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	var cum float64
+	v := h.Max
+	for _, i := range idx {
+		n := float64(h.Buckets[i])
+		if cum+n >= target {
+			// Bucket i spans [2^(i−32), 2^(i−31)); bucket 0 also absorbs
+			// zero/negative samples, so its lower edge is taken as 0.
+			lo, hi := math.Ldexp(1, i-32), math.Ldexp(1, i-31)
+			if i == 0 {
+				lo = 0
+			}
+			v = lo + (hi-lo)*(target-cum)/n
+			break
+		}
+		cum += n
+	}
+	if v < h.Min {
+		v = h.Min
+	}
+	if v > h.Max {
+		v = h.Max
+	}
+	return v
+}
+
 // Deterministic returns the snapshot with the Timings section dropped —
 // exactly the part of the state the determinism guarantee covers.
 func (s Snapshot) Deterministic() Snapshot {

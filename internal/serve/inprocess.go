@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// InProcessTransport returns an http.RoundTripper that dispatches requests
+// directly to the server's Handler without opening a socket — the hermetic
+// in-process mode behind nontree-sim -inprocess and the sim package's
+// tests. The request URL's scheme and host are ignored; everything else
+// (path, query, body, headers) behaves exactly as over the wire, including
+// the /route timeout wrapper and the concurrency limiter.
+func (s *Server) InProcessTransport() http.RoundTripper {
+	return inProcessTransport{s.Handler()}
+}
+
+type inProcessTransport struct {
+	h http.Handler
+}
+
+// RoundTrip implements http.RoundTripper by running the handler inline and
+// packaging its buffered output as a response.
+func (t inProcessTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &bufferedResponse{header: make(http.Header)}
+	t.h.ServeHTTP(rec, req)
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	return &http.Response{
+		Status:        http.StatusText(rec.code),
+		StatusCode:    rec.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// bufferedResponse is a minimal in-memory http.ResponseWriter. Handlers
+// behind http.TimeoutHandler only ever write to it from one goroutine (the
+// timeout wrapper serializes the winner), so no locking is needed.
+type bufferedResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func (r *bufferedResponse) Header() http.Header { return r.header }
+
+func (r *bufferedResponse) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *bufferedResponse) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}

@@ -97,6 +97,15 @@ func (o RouteOptions) normalize() (RouteOptions, error) {
 	return o, nil
 }
 
+// ValidateRouteOptions applies defaults and validates opts, returning the
+// normalized form. It is the exported face of the /route option checks for
+// clients that construct requests programmatically (the sim workload
+// generator), so a generated stream can never carry options the daemon
+// would reject as malformed.
+func ValidateRouteOptions(opts RouteOptions) (RouteOptions, error) {
+	return opts.normalize()
+}
+
 // Run routes one net with the requested algorithm, recording metrics into
 // rec and the decision trace into tr (either may be nil). This is the
 // single code path behind both the /route endpoint and the tracereplay

@@ -110,6 +110,12 @@ type Server struct {
 	// order keeps retention order: front = oldest, back = newest.
 	//nontree:guardedby mu
 	order *list.List
+
+	// routeStall, when non-nil, is called inside handleRoute right after
+	// the concurrency slot is acquired and the request is counted in
+	// flight — a test hook that lets the shed/timeout/drain tests hold a
+	// request in flight deterministically. Never set outside tests.
+	routeStall func()
 }
 
 // storedTrace is one retained trace with its provenance: the exact request
@@ -226,6 +232,9 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	if s.routeStall != nil {
+		s.routeStall()
+	}
 
 	var req RouteRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nontree/internal/obs"
+)
+
+// stalled instruments a server so every /route request blocks (after
+// acquiring its concurrency slot and being counted in flight) until release
+// is closed. entered receives one token per stalled request.
+func stalled(s *Server) (entered chan struct{}, release chan struct{}) {
+	entered = make(chan struct{}, 64)
+	release = make(chan struct{})
+	s.routeStall = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	return entered, release
+}
+
+// postRouteRaw POSTs a valid /route body and returns the raw response.
+func postRouteRaw(t *testing.T, ts *httptest.Server) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(RouteRequest{Net: testNet(t, 1, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/route", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// waitInflight polls until the server reports want in-flight requests.
+func waitInflight(t *testing.T, s *Server, want int64) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if s.Inflight() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("inflight stuck at %d, want %d", s.Inflight(), want)
+}
+
+// TestShedResponseShape pins the exact wire shape of every refusal the
+// daemon can produce: the limiter 429 (with Retry-After), the drain 503,
+// and the request-timeout 503. Clients key their backoff behavior off
+// these, so body and headers are contract, not cosmetics.
+func TestShedResponseShape(t *testing.T) {
+	cases := []struct {
+		name          string
+		prepare       func(t *testing.T, s *Server, release chan struct{})
+		wantStatus    int
+		wantRetry     string // Retry-After header ("" = must be absent)
+		wantErrorJSON string // exact "error" field of the JSON body ("" = raw-body case)
+		wantBody      string // substring of the raw body
+		wantRejected  int64  // serve.route.rejected delta
+	}{
+		{
+			name: "limiter-429",
+			prepare: func(t *testing.T, s *Server, release chan struct{}) {
+				// The single slot is already held by a stalled request.
+			},
+			wantStatus:    http.StatusTooManyRequests,
+			wantRetry:     "1",
+			wantErrorJSON: "concurrency limit reached",
+			wantRejected:  1,
+		},
+		{
+			name: "drain-503",
+			prepare: func(t *testing.T, s *Server, release chan struct{}) {
+				close(release) // free the slot: draining must trump a free limiter
+				s.BeginDrain()
+			},
+			wantStatus:    http.StatusServiceUnavailable,
+			wantRetry:     "",
+			wantErrorJSON: "server is draining",
+			wantRejected:  1,
+		},
+		{
+			name: "timeout-503",
+			prepare: func(t *testing.T, s *Server, release chan struct{}) {
+				close(release) // the probe request itself must stall past the timeout
+			},
+			wantStatus: http.StatusServiceUnavailable,
+			wantRetry:  "",
+			wantBody:   "request timed out",
+			// The timed-out request was accepted, not shed.
+			wantRejected: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Options{MaxConcurrent: 1, RequestTimeout: 150 * time.Millisecond})
+			entered, release := stalled(s)
+			if tc.name == "timeout-503" {
+				// Stall far past the request timeout, then finish; release
+				// here only gates the occupier below.
+				s.routeStall = func() { time.Sleep(400 * time.Millisecond) }
+			}
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			var occupied chan *http.Response
+			if tc.name == "limiter-429" {
+				// Hold the only slot with a stalled request.
+				occupied = make(chan *http.Response, 1)
+				go func() { occupied <- postRouteRaw(t, ts) }()
+				<-entered
+			}
+			before := s.Metrics().Snapshot().Counters[obs.CtrRouteRejected]
+			tc.prepare(t, s, release)
+
+			resp := postRouteRaw(t, ts)
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if got := resp.Header.Get("Retry-After"); got != tc.wantRetry {
+				t.Errorf("Retry-After = %q, want %q", got, tc.wantRetry)
+			}
+			if tc.wantErrorJSON != "" {
+				if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+					t.Errorf("Content-Type = %q, want application/json", ct)
+				}
+				var body errorResponse
+				if err := json.Unmarshal(raw, &body); err != nil {
+					t.Fatalf("body %q is not an error JSON: %v", raw, err)
+				}
+				if body.Error != tc.wantErrorJSON {
+					t.Errorf("error = %q, want %q", body.Error, tc.wantErrorJSON)
+				}
+			}
+			if tc.wantBody != "" && !strings.Contains(string(raw), tc.wantBody) {
+				t.Errorf("body %q does not mention %q", raw, tc.wantBody)
+			}
+			after := s.Metrics().Snapshot().Counters[obs.CtrRouteRejected]
+			if after-before != tc.wantRejected {
+				t.Errorf("route.rejected delta = %d, want %d", after-before, tc.wantRejected)
+			}
+
+			if occupied != nil {
+				close(release)
+				if resp := <-occupied; resp.StatusCode != http.StatusOK {
+					t.Fatalf("occupying request finished with %d after release", resp.StatusCode)
+				} else {
+					resp.Body.Close()
+				}
+			}
+			waitInflight(t, s, 0)
+		})
+	}
+}
+
+// TestSlotReleasedOnClientDisconnect: a client abandoning an in-flight
+// request must not leak the concurrency slot — the handler runs to
+// completion and releases it, so capacity recovers.
+func TestSlotReleasedOnClientDisconnect(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1})
+	entered, release := stalled(s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(RouteRequest{Net: testNet(t, 1, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/route", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-entered // the request holds the slot
+	cancel()  // client walks away
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request did not error on the client side")
+	}
+
+	// The handler is still running and still owns the slot: a newcomer is
+	// shed, proving disconnect alone frees nothing.
+	if resp := postRouteRaw(t, ts); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status with abandoned request in flight = %d, want 429", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Once the handler finishes, the slot must come back.
+	close(release)
+	waitInflight(t, s, 0)
+	resp := postRouteRaw(t, ts)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after handler completion = %d, want 200 (slot leaked)", resp.StatusCode)
+	}
+}
+
+// TestRequestTimeoutVsDrain pins the interaction between the per-request
+// timeout and draining: a request that outlives its timeout has already
+// answered 503 to the client but is STILL in flight server-side, so a
+// drain must keep waiting for it (this is exactly what -drain-timeout
+// bounds in the daemon), while new arrivals get the drain 503 immediately.
+func TestRequestTimeoutVsDrain(t *testing.T) {
+	s := New(Options{MaxConcurrent: 2, RequestTimeout: 50 * time.Millisecond})
+	entered, release := stalled(s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The victim request stalls past its timeout: the client sees the
+	// TimeoutHandler's 503 while the handler keeps running.
+	resp := postRouteRaw(t, ts)
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(raw), "request timed out") {
+		t.Fatalf("timed-out request answered %d %q", resp.StatusCode, raw)
+	}
+	<-entered
+	if got := s.Inflight(); got != 1 {
+		t.Fatalf("inflight after client-side timeout = %d, want 1 (drain must wait for it)", got)
+	}
+
+	// Draining mid-flight: newcomers are refused with the drain 503 …
+	s.BeginDrain()
+	resp = postRouteRaw(t, ts)
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(raw), "draining") {
+		t.Fatalf("request during drain answered %d %q, want the drain 503", resp.StatusCode, raw)
+	}
+
+	// … and the zombie request finishing is what lets the drain complete.
+	close(release)
+	waitInflight(t, s, 0)
+}

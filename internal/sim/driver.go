@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nontree/internal/obs"
+	"nontree/internal/serve"
+)
+
+// Drive modes.
+const (
+	// ModeClosed drives the stream with a fixed worker pool (or a ramp of
+	// pools): each worker issues the next request as soon as its previous
+	// one completes, so offered load adapts to service time.
+	ModeClosed = "closed"
+	// ModeOpen replays the workload's arrival schedule on the wall clock:
+	// every request is issued at its AtNanos offset regardless of how many
+	// are still outstanding — the mode that actually exercises the daemon's
+	// shed limiter, because offered load does not back off.
+	ModeOpen = "open"
+)
+
+// DriveOptions parameterizes a drive.
+type DriveOptions struct {
+	// Targets are the daemon base URLs ("http://host:port"). Requests shard
+	// across them by key, so one key always hits the same instance (cache
+	// realism for multi-target fleets). Defaults to a placeholder when
+	// Transport is set (the in-process handler ignores the host).
+	Targets []string
+	// Transport overrides the HTTP transport; serve.(*Server).
+	// InProcessTransport makes the drive hermetic. Nil uses the default.
+	Transport http.RoundTripper
+	// Mode is ModeClosed (default) or ModeOpen.
+	Mode string
+	// Concurrency is the closed-loop worker-pool size when no Ramp is given
+	// (default 8). Open-loop drives ignore it.
+	Concurrency int
+	// Ramp optionally staircases closed-loop concurrency: stage k drives
+	// its Requests with its Concurrency before stage k+1 starts. Requests
+	// beyond the ramp's total extend the last stage.
+	Ramp []RampStage
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+	// Metrics receives the client-side counters and the per-request latency
+	// histogram (default: fresh registry with the sim catalog).
+	Metrics *obs.Registry
+	// Scrape fetches every target's /metrics before and after the drive and
+	// reports per-counter deltas in the Server section.
+	Scrape bool
+}
+
+// ErrNoTargets means DriveOptions named neither targets nor a transport.
+var ErrNoTargets = errors.New("sim: drive needs at least one target URL (or an in-process transport)")
+
+// withDefaults fills unset driver knobs.
+func (o DriveOptions) withDefaults() (DriveOptions, error) {
+	if len(o.Targets) == 0 {
+		if o.Transport == nil {
+			return o, ErrNoTargets
+		}
+		// The in-process transport never dials; the host is cosmetic.
+		o.Targets = []string{"http://inprocess"}
+	}
+	switch o.Mode {
+	case "":
+		o.Mode = ModeClosed
+	case ModeClosed, ModeOpen:
+	default:
+		return o, fmt.Errorf("sim: unknown drive mode %q", o.Mode)
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	for _, st := range o.Ramp {
+		if st.Requests < 1 || st.Concurrency < 1 {
+			return o, ErrBadRamp
+		}
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+		obs.PreregisterSim(o.Metrics)
+	}
+	return o, nil
+}
+
+// stages resolves the closed-loop schedule: the configured ramp, with any
+// leftover requests extending the last stage (or one flat stage when no
+// ramp was given). Stages beyond the stream length are trimmed.
+func (o DriveOptions) stages(total int) []RampStage {
+	if len(o.Ramp) == 0 {
+		return []RampStage{{Requests: total, Concurrency: o.Concurrency}}
+	}
+	out := make([]RampStage, 0, len(o.Ramp))
+	remaining := total
+	for _, st := range o.Ramp {
+		if remaining <= 0 {
+			break
+		}
+		if st.Requests > remaining {
+			st.Requests = remaining
+		}
+		remaining -= st.Requests
+		out = append(out, st)
+	}
+	if remaining > 0 {
+		out[len(out)-1].Requests += remaining
+	}
+	return out
+}
+
+// Drive replays the workload against the targets and assembles the report
+// (everything except Environment, SLO and Violations, which the command
+// fills before gating). The drive itself is wall-clock real; only the
+// stream it replays is deterministic.
+func Drive(w *Workload, opts DriveOptions) (*Report, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Metrics
+	client := &http.Client{Transport: opts.Transport, Timeout: opts.Timeout}
+
+	// One marshal per distinct net: repeated keys reuse the same body.
+	bodies := make([][]byte, len(w.Nets))
+	for k, n := range w.Nets {
+		b, err := json.Marshal(serve.RouteRequest{Net: n, RouteOptions: w.Spec.routeOptions()})
+		if err != nil {
+			return nil, fmt.Errorf("sim: marshaling request for key %d: %w", k, err)
+		}
+		bodies[k] = b
+	}
+
+	var before map[string]int64
+	if opts.Scrape {
+		if before, err = scrapeTargets(client, opts.Targets); err != nil {
+			return nil, err
+		}
+	}
+
+	// outcomes[i] is written exactly once, by whichever goroutine drove
+	// request i, strictly before the WaitGroup join — no lock needed.
+	outcomes := make([]outcome, len(w.Requests))
+	doRequest := func(i int) {
+		req := w.Requests[i]
+		span := obs.StartSpan(reg, obs.TimeSimRequestSeconds)
+		outcomes[i] = post(client, opts.Targets[req.Key%len(opts.Targets)], bodies[req.Key])
+		span.End()
+	}
+
+	elapsed := obs.Stopwatch()
+	switch opts.Mode {
+	case ModeOpen:
+		// Replay the arrival schedule: sleep until each request's offset,
+		// then fire without waiting for completions.
+		var wg sync.WaitGroup
+		for i := range w.Requests {
+			at := float64(w.Requests[i].AtNanos) / 1e9
+			if gap := at - elapsed(); gap > 0 {
+				time.Sleep(time.Duration(gap * float64(time.Second)))
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				doRequest(i)
+			}(i)
+		}
+		wg.Wait()
+	default: // ModeClosed
+		next := 0
+		for _, st := range opts.stages(len(w.Requests)) {
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for c := 0; c < st.Concurrency; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						doRequest(i)
+					}
+				}()
+			}
+			for i := next; i < next+st.Requests; i++ {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+			next += st.Requests
+		}
+	}
+	wall := elapsed()
+
+	report := &Report{
+		SchemaVersion:       SimSchemaVersion,
+		Spec:                w.Spec,
+		WorkloadFingerprint: w.Fingerprint(),
+		Mode:                opts.Mode,
+		Targets:             opts.Targets,
+		Concurrency:         opts.Concurrency,
+		Violations:          []string{},
+	}
+	report.Totals = tallyOutcomes(reg, outcomes, wall)
+	report.LatencyHistogram = reg.Snapshot().Timings[obs.TimeSimRequestSeconds]
+	report.Totals.Latency = latencySummary(report.LatencyHistogram)
+
+	if opts.Scrape {
+		after, err := scrapeTargets(client, opts.Targets)
+		if err != nil {
+			return nil, err
+		}
+		report.Server = diffScrapes(before, after)
+	}
+	return report, nil
+}
+
+// outcome classifies one driven request.
+type outcome struct {
+	// status is the HTTP status, or 0 on transport failure.
+	status int
+	// shed marks daemon-refused requests: 429 from the concurrency limiter
+	// or the drain 503 (distinguished from the timeout 503 by body).
+	shed bool
+}
+
+// post issues one /route request and classifies the reply. The body is
+// always drained so keep-alive connections are reused.
+func post(client *http.Client, target string, body []byte) outcome {
+	resp, err := client.Post(target+"/route", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{}
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	o := outcome{status: resp.StatusCode}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		o.shed = true
+	case http.StatusServiceUnavailable:
+		o.shed = bytes.Contains(b, []byte("draining"))
+	}
+	return o
+}
+
+// tallyOutcomes folds the per-request outcomes into the registry's sim
+// counters and the report totals. Runs after the drive joins, so it sees
+// every outcome exactly once.
+func tallyOutcomes(reg *obs.Registry, outcomes []outcome, wall float64) Totals {
+	t := Totals{
+		Requests:     int64(len(outcomes)),
+		WallSeconds:  wall,
+		StatusCounts: make(map[string]int64),
+	}
+	for _, o := range outcomes {
+		switch {
+		case o.status == http.StatusOK:
+			t.OK++
+		case o.shed:
+			t.Shed++
+		default:
+			t.Errors++
+		}
+		key := "transport_error"
+		if o.status != 0 {
+			key = strconv.Itoa(o.status)
+		}
+		t.StatusCounts[key]++
+	}
+	if t.Requests > 0 {
+		t.ShedRate = float64(t.Shed) / float64(t.Requests)
+		t.ErrorRate = float64(t.Errors) / float64(t.Requests)
+	}
+	if wall > 0 {
+		t.ThroughputQPS = float64(t.Requests) / wall
+	}
+	reg.Add(obs.CtrSimRequests, t.Requests)
+	reg.Add(obs.CtrSimOK, t.OK)
+	reg.Add(obs.CtrSimShed, t.Shed)
+	reg.Add(obs.CtrSimErrors, t.Errors)
+	return t
+}
+
+// scrapeTargets fetches every target's /metrics and sums the Prometheus
+// counter samples ("<name>_total <value>" lines) by name across targets.
+func scrapeTargets(client *http.Client, targets []string) (map[string]int64, error) {
+	sum := make(map[string]int64)
+	for _, target := range targets {
+		resp, err := client.Get(target + "/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("sim: scraping %s: %w", target, err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 || !strings.HasSuffix(fields[0], "_total") || strings.Contains(fields[0], "{") {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				continue
+			}
+			sum[fields[0]] += int64(v)
+		}
+		err = sc.Err()
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("sim: scraping %s: %w", target, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("sim: scraping %s: status %d", target, resp.StatusCode)
+		}
+	}
+	return sum, nil
+}
+
+// diffScrapes assembles the Server section from two scrapes.
+func diffScrapes(before, after map[string]int64) *ServerSection {
+	delta := make(map[string]int64, len(after))
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			delta[name] = d
+		}
+	}
+	return &ServerSection{Before: before, After: after, Delta: delta}
+}
+
+// ProbeDrain runs the in-process drain check against a live server after a
+// drive has fully joined: BeginDrain must flip /healthz to 503 and no
+// request may still be in flight. (The CI soak separately SIGTERMs a real
+// daemon to exercise the socket-level drain path.)
+func ProbeDrain(srv *serve.Server) DrainCheck {
+	srv.BeginDrain()
+	d := DrainCheck{Checked: true}
+	client := &http.Client{Transport: srv.InProcessTransport()}
+	resp, err := client.Get("http://inprocess/healthz")
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		d.Healthz503 = resp.StatusCode == http.StatusServiceUnavailable
+	}
+	d.InflightZero = srv.Inflight() == 0
+	return d
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzWorkloadSpec feeds hostile spec JSON through the full generation
+// pipeline: decode → validate → generate → encode → re-read. Properties:
+// no panic on any input, validation errors are the only rejection path, and
+// every accepted spec produces a workload whose JSON round-trips to the
+// same fingerprint. Hostile sizes are capped before generation so each exec
+// stays fast (the caps are below the spec limits, which the validation
+// tests cover directly).
+func FuzzWorkloadSpec(f *testing.F) {
+	f.Add(`{"seed":42,"requests":64,"qps":100,"arrival":"poisson","keys":8,"zipf_s":1.2}`)
+	f.Add(`{"seed":-1,"requests":1,"qps":0.5,"arrival":"burst","burst_size":1,"keys":1}`)
+	f.Add(`{"requests":16,"arrival":"uniform","pin_mix":[{"pins":2,"weight":0.5},{"pins":7,"weight":2}]}`)
+	f.Add(`{"seed":9,"requests":8,"qps":1000000,"keys":3,"algo":"h2","oracle":"twopole","max_edges":1}`)
+	f.Add(`{"requests":-5}`)
+	f.Add(`{"zipf_s":0.0001}`)
+	f.Add(`[]`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := ReadSpec(strings.NewReader(data))
+		if err != nil {
+			return // malformed JSON is a rejection, not a crash
+		}
+		// Cap hostile sizes: generation cost is roughly
+		// requests + keys × pins, and the fuzzer should explore spec shape,
+		// not burn time on huge-but-valid streams.
+		spec = spec.withDefaults()
+		if spec.Requests > 256 || spec.Keys > 64 {
+			return
+		}
+		for _, m := range spec.PinMix {
+			if m.Pins > 64 {
+				return
+			}
+		}
+		w, err := Generate(spec)
+		if err != nil {
+			if err2 := spec.Validate(); err2 == nil {
+				t.Fatalf("Generate rejected a spec Validate accepts: %v (spec %+v)", err, spec)
+			}
+			return
+		}
+		fp := w.Fingerprint()
+		var buf bytes.Buffer
+		if err := w.WriteJSON(&buf); err != nil {
+			t.Fatalf("encoding generated workload: %v", err)
+		}
+		back, err := ReadWorkload(&buf)
+		if err != nil {
+			t.Fatalf("re-reading generated workload: %v", err)
+		}
+		if back.Fingerprint() != fp {
+			t.Fatalf("fingerprint changed across a JSON round trip (spec %+v)", spec)
+		}
+	})
+}

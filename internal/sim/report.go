@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"nontree/internal/obs"
+)
+
+// SimSchemaVersion identifies the SIM_*.json layout. Bump it only when a
+// field is renamed or removed; adding fields is backward compatible and
+// the schema-regression test in cmd/nontree-sim enforces exactly that
+// (every previously emitted key path must still be present).
+const SimSchemaVersion = 1
+
+// LatencySummary condenses the client-observed latency distribution.
+// Quantiles are estimated from the power-of-two histogram buckets
+// (factor-of-two resolution, see obs.HistogramSnapshot.Quantile).
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean_s"`
+	Min   float64 `json:"min_s"`
+	Max   float64 `json:"max_s"`
+	P50   float64 `json:"p50_s"`
+	P95   float64 `json:"p95_s"`
+	P99   float64 `json:"p99_s"`
+}
+
+// Totals aggregates the driven stream. Requests = OK + Shed + Errors.
+type Totals struct {
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	// Shed counts daemon-refused requests: 429 from the concurrency
+	// limiter or 503 while draining.
+	Shed   int64 `json:"shed"`
+	Errors int64 `json:"errors"`
+	// WallSeconds and ThroughputQPS are wall-clock reporting fields
+	// (excluded from every determinism comparison).
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	// ShedRate and ErrorRate are Shed/Requests and Errors/Requests.
+	ShedRate  float64 `json:"shed_rate"`
+	ErrorRate float64 `json:"error_rate"`
+	// StatusCounts tallies replies by HTTP status; transport failures
+	// (connection refused, timeouts) count under "transport_error".
+	StatusCounts map[string]int64 `json:"status_counts"`
+	Latency      LatencySummary   `json:"latency"`
+}
+
+// ServerSection holds the Prometheus counters scraped from the target
+// daemons (summed across targets) before and after the drive, plus their
+// per-name deltas — the server-side view the client totals reconcile
+// against.
+type ServerSection struct {
+	Before map[string]int64 `json:"before"`
+	After  map[string]int64 `json:"after"`
+	Delta  map[string]int64 `json:"delta"`
+}
+
+// DrainCheck reports the in-process drain probe: after the drive,
+// BeginDrain must flip /healthz to 503 while in-flight requests finish.
+type DrainCheck struct {
+	Checked      bool `json:"checked"`
+	Healthz503   bool `json:"healthz_503"`
+	InflightZero bool `json:"inflight_zero"`
+}
+
+// Clean reports whether the probe ran and both conditions held.
+func (d DrainCheck) Clean() bool { return d.Checked && d.Healthz503 && d.InflightZero }
+
+// SLO is the gate a soak run must satisfy. Latency/throughput bounds are
+// ungated when ≤ 0; rate bounds are ungated when < 0 (0 means "none
+// allowed", the usual CI setting for errors).
+type SLO struct {
+	MaxP50Seconds    float64 `json:"max_p50_s,omitempty"`
+	MaxP99Seconds    float64 `json:"max_p99_s,omitempty"`
+	MaxErrorRate     float64 `json:"max_error_rate"`
+	MaxShedRate      float64 `json:"max_shed_rate"`
+	MinThroughputQPS float64 `json:"min_throughput_qps,omitempty"`
+	// RequireDrain demands a clean DrainCheck (in-process runs only).
+	RequireDrain bool `json:"require_drain,omitempty"`
+}
+
+// Ungated is the SLO that gates nothing.
+func Ungated() SLO { return SLO{MaxErrorRate: -1, MaxShedRate: -1} }
+
+// Empty reports whether the SLO gates nothing.
+func (s SLO) Empty() bool {
+	return s.MaxP50Seconds <= 0 && s.MaxP99Seconds <= 0 &&
+		s.MaxErrorRate < 0 && s.MaxShedRate < 0 &&
+		s.MinThroughputQPS <= 0 && !s.RequireDrain
+}
+
+// Report is the machine-readable output of a drive — the schema behind
+// SIM_*.json.
+type Report struct {
+	SchemaVersion int          `json:"schema_version"`
+	Spec          WorkloadSpec `json:"spec"`
+	// WorkloadFingerprint identifies the exact stream that was driven, so
+	// two reports are comparable only when their fingerprints match.
+	WorkloadFingerprint string `json:"workload_fingerprint"`
+	// Mode, Targets and Concurrency echo the driver configuration.
+	Mode        string   `json:"mode"`
+	Targets     []string `json:"targets"`
+	Concurrency int      `json:"concurrency"`
+	// Environment stamps non-deterministic provenance (go version, OS,
+	// architecture); filled by the command, excluded from comparisons.
+	Environment map[string]string `json:"environment,omitempty"`
+	Totals      Totals            `json:"totals"`
+	// LatencyHistogram is the full power-of-two latency distribution the
+	// summary quantiles were estimated from.
+	LatencyHistogram obs.HistogramSnapshot `json:"latency_histogram"`
+	Server           *ServerSection        `json:"server,omitempty"`
+	Drain            *DrainCheck           `json:"drain,omitempty"`
+	SLO              *SLO                  `json:"slo,omitempty"`
+	Violations       []string              `json:"violations"`
+}
+
+// Gate checks the report against the SLO and returns one violation message
+// per breach, sorted (empty = gate passed). Mirrors expt.RegressGate.
+func (s SLO) Gate(r *Report) []string {
+	violations := []string{} // non-nil so the report renders "violations": []
+	if r.Totals.Requests == 0 {
+		return []string{"no requests were driven — nothing to gate"}
+	}
+	if s.MaxP50Seconds > 0 && r.Totals.Latency.P50 > s.MaxP50Seconds {
+		violations = append(violations, fmt.Sprintf(
+			"p50 latency %.6gs exceeds SLO %.6gs", r.Totals.Latency.P50, s.MaxP50Seconds))
+	}
+	if s.MaxP99Seconds > 0 && r.Totals.Latency.P99 > s.MaxP99Seconds {
+		violations = append(violations, fmt.Sprintf(
+			"p99 latency %.6gs exceeds SLO %.6gs", r.Totals.Latency.P99, s.MaxP99Seconds))
+	}
+	if s.MaxErrorRate >= 0 && r.Totals.ErrorRate > s.MaxErrorRate {
+		violations = append(violations, fmt.Sprintf(
+			"error rate %.4g (%d/%d) exceeds SLO %.4g",
+			r.Totals.ErrorRate, r.Totals.Errors, r.Totals.Requests, s.MaxErrorRate))
+	}
+	if s.MaxShedRate >= 0 && r.Totals.ShedRate > s.MaxShedRate {
+		violations = append(violations, fmt.Sprintf(
+			"shed rate %.4g (%d/%d) exceeds SLO %.4g",
+			r.Totals.ShedRate, r.Totals.Shed, r.Totals.Requests, s.MaxShedRate))
+	}
+	if s.MinThroughputQPS > 0 && r.Totals.ThroughputQPS < s.MinThroughputQPS {
+		violations = append(violations, fmt.Sprintf(
+			"throughput %.6g qps below SLO %.6g", r.Totals.ThroughputQPS, s.MinThroughputQPS))
+	}
+	if s.RequireDrain {
+		switch {
+		case r.Drain == nil || !r.Drain.Checked:
+			violations = append(violations, "drain behavior was not checked (SLO requires a clean drain)")
+		case !r.Drain.Clean():
+			violations = append(violations, fmt.Sprintf(
+				"drain check failed: healthz_503=%t inflight_zero=%t",
+				r.Drain.Healthz503, r.Drain.InflightZero))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadReport reads a committed SIM_*.json artifact, rejecting schema
+// version drift the same way expt.LoadBenchReport does.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: reading report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("sim: parsing report %s: %w", path, err)
+	}
+	if r.SchemaVersion != SimSchemaVersion {
+		return nil, fmt.Errorf("sim: report %s has schema %d, this binary writes %d",
+			path, r.SchemaVersion, SimSchemaVersion)
+	}
+	return &r, nil
+}
+
+// latencySummary condenses a timing histogram snapshot.
+func latencySummary(h obs.HistogramSnapshot) LatencySummary {
+	s := LatencySummary{Count: h.Count, Min: h.Min, Max: h.Max}
+	if h.Count > 0 {
+		s.Mean = h.Sum / float64(h.Count)
+	}
+	s.P50 = h.Quantile(0.50)
+	s.P95 = h.Quantile(0.95)
+	s.P99 = h.Quantile(0.99)
+	return s
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// gateReport builds a healthy synthetic report the SLO cases perturb.
+func gateReport() *Report {
+	r := &Report{
+		SchemaVersion: SimSchemaVersion,
+		Mode:          ModeClosed,
+	}
+	r.Totals = Totals{
+		Requests:      1000,
+		OK:            990,
+		Shed:          10,
+		ShedRate:      0.01,
+		ThroughputQPS: 120,
+		Latency:       LatencySummary{Count: 1000, P50: 0.01, P95: 0.05, P99: 0.09},
+	}
+	r.Drain = &DrainCheck{Checked: true, Healthz503: true, InflightZero: true}
+	return r
+}
+
+// TestSLOGate is the table-driven gate contract: each bound trips exactly
+// on its own violation, ungated bounds never trip, and messages are sorted.
+func TestSLOGate(t *testing.T) {
+	cases := []struct {
+		name   string
+		slo    SLO
+		mutate func(*Report)
+		want   []string // substrings, one per expected violation, in order
+	}{
+		{"ungated-passes", Ungated(), nil, nil},
+		{"healthy-passes", SLO{MaxP50Seconds: 1, MaxP99Seconds: 1, MaxErrorRate: 0, MaxShedRate: 0.5, MinThroughputQPS: 1, RequireDrain: true}, nil, nil},
+		{"p50-breach", SLO{MaxP50Seconds: 0.005, MaxErrorRate: -1, MaxShedRate: -1}, nil, []string{"p50 latency"}},
+		{"p99-breach", SLO{MaxP99Seconds: 0.05, MaxErrorRate: -1, MaxShedRate: -1}, nil, []string{"p99 latency"}},
+		{"zero-error-budget", SLO{MaxErrorRate: 0, MaxShedRate: -1},
+			func(r *Report) { r.Totals.Errors = 1; r.Totals.ErrorRate = 0.001 },
+			[]string{"error rate"}},
+		{"shed-breach", SLO{MaxErrorRate: -1, MaxShedRate: 0.001}, nil, []string{"shed rate"}},
+		{"throughput-breach", SLO{MaxErrorRate: -1, MaxShedRate: -1, MinThroughputQPS: 1000}, nil, []string{"throughput"}},
+		{"drain-not-checked", SLO{MaxErrorRate: -1, MaxShedRate: -1, RequireDrain: true},
+			func(r *Report) { r.Drain = nil },
+			[]string{"drain behavior was not checked"}},
+		{"drain-dirty", SLO{MaxErrorRate: -1, MaxShedRate: -1, RequireDrain: true},
+			func(r *Report) { r.Drain.InflightZero = false },
+			[]string{"drain check failed"}},
+		{"empty-run-always-fails", Ungated(),
+			func(r *Report) { r.Totals = Totals{} },
+			[]string{"no requests were driven"}},
+		{"multiple-sorted", SLO{MaxP50Seconds: 0.001, MaxP99Seconds: 0.001, MaxErrorRate: -1, MaxShedRate: -1, MinThroughputQPS: 1e6}, nil,
+			[]string{"p50 latency", "p99 latency", "throughput"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := gateReport()
+			if tc.mutate != nil {
+				tc.mutate(r)
+			}
+			got := tc.slo.Gate(r)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Gate() = %q, want %d violations %q", got, len(tc.want), tc.want)
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(got[i], sub) {
+					t.Fatalf("violation %d = %q, want mention of %q (all: %q)", i, got[i], sub, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSLOEmpty pins the gated/ungated boundary Empty reports.
+func TestSLOEmpty(t *testing.T) {
+	if !Ungated().Empty() {
+		t.Fatal("Ungated() must be Empty")
+	}
+	if (SLO{MaxErrorRate: 0, MaxShedRate: -1}).Empty() {
+		t.Fatal("a zero error budget is a real gate, not Empty")
+	}
+	if (SLO{MaxErrorRate: -1, MaxShedRate: -1, RequireDrain: true}).Empty() {
+		t.Fatal("RequireDrain is a real gate, not Empty")
+	}
+}
+
+// TestReportRoundTrip checks WriteJSON → LoadReport identity and the schema
+// version rejection.
+func TestReportRoundTrip(t *testing.T) {
+	r := gateReport()
+	r.Violations = []string{}
+	path := filepath.Join(t.TempDir(), "SIM_test.json")
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Totals, r.Totals) || back.Mode != r.Mode {
+		t.Fatalf("round trip changed the report: %+v vs %+v", back.Totals, r.Totals)
+	}
+
+	r.SchemaVersion = SimSchemaVersion + 1
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("future schema accepted: err = %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package sim is the fleet-scale workload simulator behind cmd/nontree-sim:
+// a deterministic, seeded request-stream generator (mixed pin counts drawn
+// from a configurable distribution, uniform/Poisson/burst arrival
+// processes, Zipf hot-key skew, closed-loop concurrency ramps) plus an
+// open/closed-loop HTTP driver that replays the stream against one or more
+// live nontree-serve instances, records client-observed latency into
+// internal/obs power-of-two histograms, scrapes the daemons' Prometheus
+// counters around the run, and emits a schema-stable SIM_*.json report
+// whose SLO gate fails the run on violation (DESIGN.md §15).
+//
+// Determinism contract: workload generation is a pure function of the
+// WorkloadSpec. Every random draw comes from rand.New(rand.NewSource(...))
+// sub-streams derived from Spec.Seed, timestamps are integer nanosecond
+// offsets, and the canonical JSON encoding — and therefore Fingerprint —
+// is byte-identical across runs, machines and PRs, so the same stream can
+// be replayed to compare serving behavior between versions. The
+// nondeterministic half — actually issuing requests — is confined to the
+// driver, whose only clock access goes through the sanctioned
+// obs.StartSpan/obs.Stopwatch readers (wall time lands exclusively in
+// report fields and Timings sections that no determinism comparison reads).
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"nontree/internal/netlist"
+	"nontree/internal/serve"
+)
+
+// Arrival selects the request arrival process of a workload.
+type Arrival string
+
+// Arrival processes. All three target Spec.QPS on average; they differ in
+// how the load clusters.
+const (
+	// ArrivalUniform spaces requests exactly 1/QPS apart.
+	ArrivalUniform Arrival = "uniform"
+	// ArrivalPoisson draws exponential inter-arrival gaps (memoryless open
+	// traffic, the classic heavy-traffic model).
+	ArrivalPoisson Arrival = "poisson"
+	// ArrivalBurst issues BurstSize requests simultaneously every
+	// BurstSize/QPS seconds — the worst case for the daemon's shed limiter.
+	ArrivalBurst Arrival = "burst"
+)
+
+// PinMix is one entry of the pin-count distribution: nets with Pins pins
+// are drawn with probability Weight / (sum of all weights).
+type PinMix struct {
+	Pins   int     `json:"pins"`
+	Weight float64 `json:"weight"`
+}
+
+// RampStage is one step of a closed-loop concurrency ramp: Requests
+// requests driven by Concurrency workers before the next stage starts.
+type RampStage struct {
+	Requests    int `json:"requests"`
+	Concurrency int `json:"concurrency"`
+}
+
+// WorkloadSpec parameterizes workload generation. The zero value plus a
+// seed is usable: withDefaults fills every unset knob.
+type WorkloadSpec struct {
+	// Seed derives every random stream; equal specs generate byte-identical
+	// workloads.
+	Seed int64 `json:"seed"`
+	// Requests is the stream length.
+	Requests int `json:"requests"`
+	// QPS is the target arrival rate of the schedule (requests/second).
+	QPS float64 `json:"qps"`
+	// Arrival selects the arrival process (default uniform).
+	Arrival Arrival `json:"arrival"`
+	// BurstSize is the simultaneous-request count for ArrivalBurst.
+	BurstSize int `json:"burst_size,omitempty"`
+	// PinMix is the pin-count distribution nets are drawn from.
+	PinMix []PinMix `json:"pin_mix,omitempty"`
+	// Keys is the number of distinct nets; requests pick among them, so
+	// smaller key spaces mean more repeated nets (cache realism).
+	Keys int `json:"keys"`
+	// ZipfS skews key popularity: 0 picks keys uniformly; s > 1 draws them
+	// Zipf(s)-distributed so low-numbered keys are hot.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Side is the layout square side length (µm) nets are generated in.
+	Side float64 `json:"side_um,omitempty"`
+	// Algo, Oracle, RouteWorkers and MaxEdges are the serve.RouteOptions
+	// every request carries.
+	Algo         string `json:"algo,omitempty"`
+	Oracle       string `json:"oracle,omitempty"`
+	RouteWorkers int    `json:"route_workers,omitempty"`
+	MaxEdges     int    `json:"max_edges,omitempty"`
+}
+
+// Generation limits. They bound hostile specs (the fuzz surface) without
+// constraining any realistic soak configuration.
+const (
+	// MaxRequests bounds the stream length of one workload.
+	MaxRequests = 1 << 22
+	// MaxKeys bounds the distinct-net table.
+	MaxKeys = 1 << 16
+	// MaxPins bounds the per-net pin count.
+	MaxPins = 1 << 10
+	// MaxQPS bounds the schedule rate.
+	MaxQPS = 1e7
+)
+
+// Spec validation errors.
+var (
+	ErrBadRequests = errors.New("sim: requests must be in [1, MaxRequests]")
+	ErrBadQPS      = errors.New("sim: qps must be finite and in (0, MaxQPS]")
+	ErrBadArrival  = errors.New("sim: unknown arrival process")
+	ErrBadBurst    = errors.New("sim: burst_size must be in [1, requests]")
+	ErrBadPinMix   = errors.New("sim: pin_mix entries need pins in [2, MaxPins] and finite positive weight")
+	ErrBadKeys     = errors.New("sim: keys must be in [1, MaxKeys]")
+	ErrBadZipf     = errors.New("sim: zipf_s must be 0 (uniform) or in (1, 64]")
+	ErrBadSide     = errors.New("sim: side_um must be finite and positive")
+	ErrBadRamp     = errors.New("sim: ramp stages need positive requests and concurrency")
+)
+
+// withDefaults fills unset fields; it never mutates the receiver's slices.
+func (s WorkloadSpec) withDefaults() WorkloadSpec {
+	if s.Requests <= 0 {
+		s.Requests = 256
+	}
+	if s.QPS == 0 {
+		s.QPS = 50
+	}
+	if s.Arrival == "" {
+		s.Arrival = ArrivalUniform
+	}
+	if s.Arrival == ArrivalBurst && s.BurstSize == 0 {
+		s.BurstSize = 8
+	}
+	if len(s.PinMix) == 0 {
+		s.PinMix = []PinMix{{Pins: 5, Weight: 3}, {Pins: 10, Weight: 2}, {Pins: 20, Weight: 1}}
+	}
+	if s.Keys == 0 {
+		s.Keys = 16
+	}
+	if s.Side == 0 {
+		s.Side = netlist.DefaultSide
+	}
+	if s.Algo == "" {
+		s.Algo = serve.AlgoLDRG
+	}
+	if s.Oracle == "" {
+		s.Oracle = serve.OracleElmore
+	}
+	return s
+}
+
+// Validate checks the spec against the generation limits. Generate applies
+// defaults first, so zero-valued fields never fail here.
+func (s WorkloadSpec) Validate() error {
+	if s.Requests < 1 || s.Requests > MaxRequests {
+		return fmt.Errorf("%w: %d", ErrBadRequests, s.Requests)
+	}
+	if !(s.QPS > 0) || s.QPS > MaxQPS || math.IsInf(s.QPS, 0) {
+		return fmt.Errorf("%w: %g", ErrBadQPS, s.QPS)
+	}
+	switch s.Arrival {
+	case ArrivalUniform, ArrivalPoisson:
+	case ArrivalBurst:
+		if s.BurstSize < 1 || s.BurstSize > s.Requests {
+			return fmt.Errorf("%w: %d", ErrBadBurst, s.BurstSize)
+		}
+	default:
+		return fmt.Errorf("%w: %q", ErrBadArrival, s.Arrival)
+	}
+	if len(s.PinMix) == 0 {
+		return ErrBadPinMix
+	}
+	for _, m := range s.PinMix {
+		if m.Pins < 2 || m.Pins > MaxPins {
+			return fmt.Errorf("%w: pins %d", ErrBadPinMix, m.Pins)
+		}
+		if !(m.Weight > 0) || math.IsInf(m.Weight, 0) {
+			return fmt.Errorf("%w: weight %g", ErrBadPinMix, m.Weight)
+		}
+	}
+	if s.Keys < 1 || s.Keys > MaxKeys {
+		return fmt.Errorf("%w: %d", ErrBadKeys, s.Keys)
+	}
+	if s.ZipfS != 0 && !(s.ZipfS > 1 && s.ZipfS <= 64) {
+		return fmt.Errorf("%w: %g", ErrBadZipf, s.ZipfS)
+	}
+	if !(s.Side > 0) || math.IsInf(s.Side, 0) {
+		return fmt.Errorf("%w: %g", ErrBadSide, s.Side)
+	}
+	// Route options reuse the daemon's own validation so a generated
+	// workload can never carry a request the daemon would reject as
+	// malformed (rejections must mean load, not typos).
+	if _, err := serve.ValidateRouteOptions(s.routeOptions()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// routeOptions assembles the serve.RouteOptions each request carries.
+func (s WorkloadSpec) routeOptions() serve.RouteOptions {
+	return serve.RouteOptions{
+		Algo:     s.Algo,
+		Oracle:   s.Oracle,
+		Workers:  s.RouteWorkers,
+		MaxEdges: s.MaxEdges,
+	}
+}
+
+// ReadSpec parses a WorkloadSpec from JSON (unknown fields rejected).
+func ReadSpec(r io.Reader) (WorkloadSpec, error) {
+	var s WorkloadSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("sim: decoding spec: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	//nontree:allow nondetsource workload generation only: every stream is rand.New(rand.NewSource(...)) derived from WorkloadSpec.Seed, so a workload is a pure function of its spec (determinism contract, DESIGN.md §15)
+	"math/rand"
+
+	"nontree/internal/netlist"
+)
+
+// Request is one scheduled request of a workload stream.
+type Request struct {
+	// AtNanos is the scheduled send time as a nanosecond offset from the
+	// stream start (integer so schedules are bit-stable across platforms).
+	AtNanos int64 `json:"at_ns"`
+	// Key indexes Workload.Nets — the net this request routes. Repeated
+	// keys are repeated nets, which is what the Zipf skew produces.
+	Key int `json:"key"`
+}
+
+// Workload is a fully materialized request stream: the spec it was derived
+// from, the distinct-net table, and the scheduled requests. Its canonical
+// JSON encoding is byte-identical for equal specs.
+type Workload struct {
+	Spec     WorkloadSpec   `json:"spec"`
+	Nets     []*netlist.Net `json:"nets"`
+	Requests []Request      `json:"requests"`
+}
+
+// Seed-stream salts: each random concern draws from its own sub-stream so
+// adding draws to one concern never shifts another (and golden workload
+// fingerprints survive unrelated generator changes).
+const (
+	saltKeys    = 0x517cc1b727220a95 // key-popularity stream
+	saltArrival = 0x6a09e667f3bcc909 // arrival-schedule stream
+)
+
+// Generate materializes the workload stream for a spec. Defaults are
+// applied first, then the spec is validated; the result is a pure function
+// of the defaulted spec.
+func Generate(spec WorkloadSpec) (*Workload, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Net table: one seeded stream drives both the pin-count draw and the
+	// pin placement, key by key.
+	netRng := rand.New(rand.NewSource(spec.Seed))
+	gen := &netlist.Generator{Side: spec.Side, Rng: netRng}
+	var totalWeight float64
+	for _, m := range spec.PinMix {
+		totalWeight += m.Weight
+	}
+	nets := make([]*netlist.Net, spec.Keys)
+	for k := range nets {
+		pins := drawPins(netRng, spec.PinMix, totalWeight)
+		n, err := gen.Generate(pins)
+		if err != nil {
+			return nil, err
+		}
+		n.Name = fmt.Sprintf("sim-k%04d-%dpin", k, pins)
+		nets[k] = n
+	}
+
+	// Key popularity: uniform, or Zipf(s) so low keys are hot.
+	keyRng := rand.New(rand.NewSource(spec.Seed ^ saltKeys))
+	pickKey := func() int { return keyRng.Intn(spec.Keys) }
+	if spec.ZipfS != 0 {
+		z := rand.NewZipf(keyRng, spec.ZipfS, 1, uint64(spec.Keys-1))
+		pickKey = func() int { return int(z.Uint64()) }
+	}
+
+	arrRng := rand.New(rand.NewSource(spec.Seed ^ saltArrival))
+	times := scheduleTimes(spec, arrRng)
+	reqs := make([]Request, spec.Requests)
+	for i := range reqs {
+		reqs[i] = Request{AtNanos: times[i], Key: pickKey()}
+	}
+	return &Workload{Spec: spec, Nets: nets, Requests: reqs}, nil
+}
+
+// drawPins picks a pin count from the mix by cumulative weight.
+func drawPins(rng *rand.Rand, mix []PinMix, total float64) int {
+	u := rng.Float64() * total
+	var cum float64
+	for _, m := range mix {
+		cum += m.Weight
+		if u < cum {
+			return m.Pins
+		}
+	}
+	return mix[len(mix)-1].Pins
+}
+
+// scheduleTimes materializes the arrival schedule: non-decreasing
+// nanosecond offsets averaging one request per 1/QPS seconds.
+func scheduleTimes(spec WorkloadSpec, rng *rand.Rand) []int64 {
+	times := make([]int64, spec.Requests)
+	switch spec.Arrival {
+	case ArrivalPoisson:
+		var t float64 // seconds
+		for i := range times {
+			t += rng.ExpFloat64() / spec.QPS
+			times[i] = int64(math.Round(t * 1e9))
+		}
+	case ArrivalBurst:
+		for i := range times {
+			burst := float64(i / spec.BurstSize)
+			times[i] = int64(math.Round(burst * float64(spec.BurstSize) / spec.QPS * 1e9))
+		}
+	default: // ArrivalUniform
+		for i := range times {
+			times[i] = int64(math.Round(float64(i) / spec.QPS * 1e9))
+		}
+	}
+	return times
+}
+
+// WriteJSON writes the workload as indented canonical JSON. The encoding
+// is deterministic (fixed field order, shortest float rendering), so two
+// generations from the same spec produce byte-identical files.
+func (w *Workload) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(w)
+}
+
+// ReadWorkload parses a workload written by WriteJSON and checks internal
+// consistency (spec validity, key ranges, net validity).
+func ReadWorkload(r io.Reader) (*Workload, error) {
+	var w Workload
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("sim: decoding workload: %w", err)
+	}
+	if err := w.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w.Nets) == 0 {
+		return nil, fmt.Errorf("sim: workload has no nets")
+	}
+	for i, n := range w.Nets {
+		if n == nil {
+			return nil, fmt.Errorf("sim: net %d is null", i)
+		}
+		if err := n.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: net %d: %w", i, err)
+		}
+	}
+	for i, r := range w.Requests {
+		if r.Key < 0 || r.Key >= len(w.Nets) {
+			return nil, fmt.Errorf("sim: request %d key %d outside net table [0, %d)", i, r.Key, len(w.Nets))
+		}
+		if r.AtNanos < 0 {
+			return nil, fmt.Errorf("sim: request %d has negative schedule offset", i)
+		}
+	}
+	return &w, nil
+}
+
+// Fingerprint is the SHA-256 of the workload's compact canonical JSON,
+// rendered as lowercase hex — the identity tests and CI pin to assert two
+// generations (or two PRs) produced the same stream.
+func (w *Workload) Fingerprint() string {
+	data, err := json.Marshal(w)
+	if err != nil {
+		// Workload fields are plain data; Marshal cannot fail on them.
+		panic(fmt.Sprintf("sim: marshaling workload: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))
+}

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// goldenSpec is the fixed spec behind the pinned fingerprints: small enough
+// to generate instantly, rich enough to exercise every stream.
+func goldenSpec(arrival Arrival, zipfS float64) WorkloadSpec {
+	return WorkloadSpec{
+		Seed:     42,
+		Requests: 64,
+		QPS:      100,
+		Arrival:  arrival,
+		Keys:     8,
+		ZipfS:    zipfS,
+	}
+}
+
+// TestGoldenFingerprints pins the workload fingerprint for every arrival
+// process × key skew at seed 42. These hashes are the determinism contract:
+// they must be identical on every platform and every PR. A mismatch means
+// workload generation changed and every committed SIM_*.json baseline is no
+// longer comparable — if the change is intentional, update the hashes here
+// AND regenerate the baselines.
+func TestGoldenFingerprints(t *testing.T) {
+	cases := []struct {
+		name    string
+		arrival Arrival
+		zipfS   float64
+		want    string
+	}{
+		{"uniform-flat", ArrivalUniform, 0, "8a3724f8c6f51371fc0002ec1f1c48a3de5ad223985a20b8f382e2a14f79514e"},
+		{"uniform-zipf", ArrivalUniform, 1.2, "f491682313701a020af0cf7c05a9fc6b5e4fc03878552b3f1976b51b9286c677"},
+		{"poisson-flat", ArrivalPoisson, 0, "73f125a5aaaa30ac645fb7eee854a02d3605a3cab9392b5577b7a4d9e3aaf43d"},
+		{"poisson-zipf", ArrivalPoisson, 1.2, "33375729927529b981927be0d4d8dd4ce47635d1ba2a6357c56b5668f917762b"},
+		{"burst-flat", ArrivalBurst, 0, "623a0610a135d808c1fc96bdf427602db51dd03560b8ba9c9ccb8b405de9118e"},
+		{"burst-zipf", ArrivalBurst, 1.2, "32d1886f7d4602595d06914b2ad285e355d4208ca8fe6f8b97bb2596a610b788"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := Generate(goldenSpec(tc.arrival, tc.zipfS))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := w.Fingerprint(); got != tc.want {
+				t.Errorf("fingerprint drifted:\n got %s\nwant %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGenerateByteIdentical is the acceptance criterion: two generations of
+// the same spec produce byte-identical streams.
+func TestGenerateByteIdentical(t *testing.T) {
+	spec := goldenSpec(ArrivalPoisson, 1.2)
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		w, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteJSON(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("two generations of the same spec differ byte-for-byte")
+	}
+}
+
+// TestSeedChangesStream guards against the seed being ignored.
+func TestSeedChangesStream(t *testing.T) {
+	a, err := Generate(WorkloadSpec{Seed: 1, Requests: 32, Keys: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(WorkloadSpec{Seed: 2, Requests: 32, Keys: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+// TestSubstreamIsolation checks the salted sub-stream design: changing the
+// key skew must not disturb the net table or the arrival schedule, so
+// golden baselines survive orthogonal spec tweaks.
+func TestSubstreamIsolation(t *testing.T) {
+	flat, err := Generate(goldenSpec(ArrivalUniform, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := Generate(goldenSpec(ArrivalUniform, 1.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat.Nets {
+		if flat.Nets[i].Name != skew.Nets[i].Name || len(flat.Nets[i].Pins) != len(skew.Nets[i].Pins) {
+			t.Fatalf("net %d differs between skews: key stream leaked into the net stream", i)
+		}
+	}
+	for i := range flat.Requests {
+		if flat.Requests[i].AtNanos != skew.Requests[i].AtNanos {
+			t.Fatalf("request %d schedule differs between skews: key stream leaked into the arrival stream", i)
+		}
+	}
+}
+
+// TestScheduleShapes sanity-checks each arrival process.
+func TestScheduleShapes(t *testing.T) {
+	t.Run("uniform", func(t *testing.T) {
+		w, err := Generate(WorkloadSpec{Seed: 3, Requests: 10, QPS: 100, Arrival: ArrivalUniform, Keys: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range w.Requests {
+			if want := int64(i) * 10_000_000; r.AtNanos != want {
+				t.Fatalf("request %d at %dns, want exactly %dns (1/QPS spacing)", i, r.AtNanos, want)
+			}
+		}
+	})
+	t.Run("poisson-monotone", func(t *testing.T) {
+		w, err := Generate(WorkloadSpec{Seed: 3, Requests: 100, QPS: 100, Arrival: ArrivalPoisson, Keys: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(w.Requests); i++ {
+			if w.Requests[i].AtNanos < w.Requests[i-1].AtNanos {
+				t.Fatalf("schedule decreases at request %d", i)
+			}
+		}
+	})
+	t.Run("burst-groups", func(t *testing.T) {
+		w, err := Generate(WorkloadSpec{Seed: 3, Requests: 32, QPS: 100, Arrival: ArrivalBurst, BurstSize: 8, Keys: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range w.Requests {
+			first := w.Requests[(i/8)*8]
+			if r.AtNanos != first.AtNanos {
+				t.Fatalf("request %d not simultaneous with its burst head", i)
+			}
+		}
+		if w.Requests[0].AtNanos == w.Requests[8].AtNanos {
+			t.Fatal("consecutive bursts share a timestamp")
+		}
+	})
+}
+
+// TestWorkloadRoundTrip checks WriteJSON → ReadWorkload preserves identity.
+func TestWorkloadRoundTrip(t *testing.T) {
+	w, err := Generate(goldenSpec(ArrivalBurst, 1.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != w.Fingerprint() {
+		t.Fatal("round-tripped workload has a different fingerprint")
+	}
+}
+
+// TestReadWorkloadRejects covers the consistency checks on untrusted files.
+func TestReadWorkloadRejects(t *testing.T) {
+	w, err := Generate(WorkloadSpec{Seed: 5, Requests: 4, Keys: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(mutate func(*Workload)) string {
+		cp := *w
+		cp.Requests = append([]Request(nil), w.Requests...)
+		mutate(&cp)
+		var buf bytes.Buffer
+		if err := cp.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"key-out-of-range", render(func(w *Workload) { w.Requests[1].Key = 99 }), "outside net table"},
+		{"negative-offset", render(func(w *Workload) { w.Requests[1].AtNanos = -1 }), "negative schedule offset"},
+		{"no-nets", render(func(w *Workload) { w.Nets = nil }), "no nets"},
+		{"unknown-field", `{"spec":{},"nets":[],"requests":[],"bogus":1}`, "bogus"},
+		{"garbage", "{", "decoding workload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadWorkload(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSpecValidation covers the generation limits.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec WorkloadSpec
+		want error
+	}{
+		{"too-many-requests", WorkloadSpec{Requests: MaxRequests + 1}, ErrBadRequests},
+		{"zero-qps", WorkloadSpec{Requests: 1, QPS: -1}, ErrBadQPS},
+		{"bad-arrival", WorkloadSpec{Requests: 1, QPS: 1, Arrival: "fractal", Keys: 1, Side: 1, PinMix: []PinMix{{2, 1}}}, ErrBadArrival},
+		{"bad-burst", WorkloadSpec{Requests: 4, QPS: 1, Arrival: ArrivalBurst, BurstSize: 5, Keys: 1, Side: 1, PinMix: []PinMix{{2, 1}}}, ErrBadBurst},
+		{"bad-pins", WorkloadSpec{Requests: 1, QPS: 1, Arrival: ArrivalUniform, Keys: 1, Side: 1, PinMix: []PinMix{{1, 1}}}, ErrBadPinMix},
+		{"bad-keys", WorkloadSpec{Requests: 1, QPS: 1, Arrival: ArrivalUniform, Keys: MaxKeys + 1, Side: 1, PinMix: []PinMix{{2, 1}}}, ErrBadKeys},
+		{"bad-zipf", WorkloadSpec{Requests: 1, QPS: 1, Arrival: ArrivalUniform, Keys: 1, ZipfS: 0.5, Side: 1, PinMix: []PinMix{{2, 1}}}, ErrBadZipf},
+		{"bad-side", WorkloadSpec{Requests: 1, QPS: 1, Arrival: ArrivalUniform, Keys: 1, Side: -4, PinMix: []PinMix{{2, 1}}}, ErrBadSide},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want.Error()) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	t.Run("bad-algo-via-serve", func(t *testing.T) {
+		spec := WorkloadSpec{Requests: 1, QPS: 1, Arrival: ArrivalUniform, Keys: 1, Side: 1, PinMix: []PinMix{{2, 1}}, Algo: "dijkstra"}
+		if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+			t.Fatalf("Validate() = %v, want serve's unknown-algorithm rejection", err)
+		}
+	})
+}
