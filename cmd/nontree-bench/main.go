@@ -10,6 +10,7 @@
 //	nontree-bench -measure elmore          # skip transient measurement (fastest)
 //	nontree-bench -inductance              # RLC interconnect model
 //	nontree-bench -exp bench -out BENCH_PR4.json   # observability benchmark suite
+//	nontree-bench -trend BENCH_PR4.json,BENCH_PR6.json -out TREND.json   # cross-PR trend report
 package main
 
 import (
@@ -56,11 +57,15 @@ func realMain() (retErr error) {
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		regress    = flag.String("regress", "", "with -exp bench: gate the run against this baseline BENCH_*.json (bitwise quality equality + oracle-evaluation budgets); exits non-zero on violation")
+		trendPaths = flag.String("trend", "", "comma-separated committed artifacts (BENCH_*.json / SIM_*.json): emit their cross-PR trend report instead of running experiments (-out/-json for the TREND_*.json form, default text table)")
 	)
 	flag.Parse()
 
 	if *outPath != "" {
 		*jsonOut = true
+	}
+	if *trendPaths != "" {
+		return runTrend(*trendPaths, *outPath, *jsonOut)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -167,6 +172,33 @@ func runBench(cfg expt.Config, outPath, regressPath string) error {
 	}
 	log.Printf("regress: gate passed against %s", regressPath)
 	return nil
+}
+
+// runTrend loads the named committed artifacts and emits their trend
+// report: the schema-stable TREND_*.json when JSON output was requested,
+// otherwise the human-readable table. Regenerating from the same inputs is
+// byte-identical, which the trend regression test pins against the
+// committed TREND artifact.
+func runTrend(paths, outPath string, jsonOut bool) error {
+	report, err := expt.Trend(splitPaths(paths))
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeJSON(outPath, report)
+	}
+	return report.Render(os.Stdout)
+}
+
+// splitPaths splits a comma-separated path list, dropping empty entries.
+func splitPaths(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // writeJSON encodes v with stable indentation to path, or stdout when path

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nontree/internal/expt"
+)
+
+// TestTrendRegeneratesCommittedArtifact pins the trend half of the
+// cross-PR tracking contract: regenerating the trend report from the same
+// committed bench artifacts reproduces TREND_PR10.json byte-for-byte.
+// Any drift means either an input artifact was rewritten (which the bench
+// schema test should have caught) or the trend schema changed without a
+// version bump.
+func TestTrendRegeneratesCommittedArtifact(t *testing.T) {
+	inputs := []string{
+		filepath.Join("..", "..", "BENCH_PR4.json"),
+		filepath.Join("..", "..", "BENCH_PR6.json"),
+	}
+	report, err := expt.Trend(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regen bytes.Buffer
+	if err := report.WriteJSON(&regen); err != nil {
+		t.Fatal(err)
+	}
+
+	committed, err := os.ReadFile(filepath.Join("..", "..", "TREND_PR10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(regen.Bytes(), committed) {
+		t.Fatalf("regenerated trend report drifted from committed TREND_PR10.json\nregenerated (%d bytes):\n%s\ncommitted (%d bytes):\n%s",
+			regen.Len(), truncate(regen.Bytes()), len(committed), truncate(committed))
+	}
+
+	// The committed artifact loads back through the schema gate and every
+	// metric spans exactly the two input artifacts.
+	loaded, err := expt.LoadTrendReport(filepath.Join("..", "..", "TREND_PR10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SchemaVersion != expt.TrendSchemaVersion {
+		t.Errorf("committed schema = %d, want %d", loaded.SchemaVersion, expt.TrendSchemaVersion)
+	}
+	if len(loaded.Artifacts) != len(inputs) {
+		t.Fatalf("committed trend spans %d artifacts, want %d", len(loaded.Artifacts), len(inputs))
+	}
+	for _, m := range loaded.Metrics {
+		if len(m.Values) != len(inputs) {
+			t.Errorf("metric %s has %d values, want %d", m.Name, len(m.Values), len(inputs))
+		}
+	}
+}
+
+func truncate(b []byte) []byte {
+	const max = 2048
+	if len(b) <= max {
+		return b
+	}
+	return append(append([]byte{}, b[:max]...), []byte("…")...)
+}

@@ -3,7 +3,10 @@
 // Prometheus metrics; GET /healthz reports liveness (503 while draining);
 // GET /traces/<id> exports a retained execution trace as canonical JSONL
 // (append ?request=1 for the originating request, ready for tracereplay);
-// /debug/pprof/* serves the standard profiling endpoints.
+// GET /logs streams the retained per-request wide events as canonical
+// JSONL (append ?request=<id> to resolve one request by the id every
+// /route reply carries); /debug/pprof/* serves the standard profiling
+// endpoints.
 //
 // Usage:
 //
@@ -49,6 +52,7 @@ func realMain(args []string) error {
 		maxConcurrent = fs.Int("max-concurrent", 0, "simultaneous /route requests before shedding with 429 (0 = 2×GOMAXPROCS)")
 		traceCap      = fs.Int("trace-capacity", 1<<16, "per-request trace ring capacity (events)")
 		maxTraces     = fs.Int("max-traces", 64, "retained traces before evicting the oldest")
+		maxLogs       = fs.Int("max-logs", 0, "retained /logs wide events before evicting the oldest (0 = default ring, negative disables request logging)")
 		reqTimeout    = fs.Duration("request-timeout", 60*time.Second, "per-request /route wall-clock bound")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	)
@@ -63,6 +67,7 @@ func realMain(args []string) error {
 		MaxConcurrent:  *maxConcurrent,
 		TraceCapacity:  *traceCap,
 		MaxTraces:      *maxTraces,
+		MaxLogEvents:   *maxLogs,
 		RequestTimeout: *reqTimeout,
 	})
 

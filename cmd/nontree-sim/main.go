@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"nontree/internal/expt"
 	"nontree/internal/serve"
 	"nontree/internal/sim"
 )
@@ -86,12 +87,16 @@ func realMain(args []string, stdout io.Writer) error {
 		sloShedRate  = fs.Float64("slo-shed-rate", -1, "fail if the shed rate exceeds this (negative = ungated)")
 		sloMinQPS    = fs.Float64("slo-min-qps", 0, "fail if achieved throughput falls below this (0 = ungated)")
 		sloDrain     = fs.Bool("slo-drain", false, "fail unless the post-drive drain probe is clean (needs -inprocess)")
+		trendPaths   = fs.String("trend", "", "comma-separated committed artifacts (BENCH_*.json / SIM_*.json): emit their cross-PR trend report instead of driving (-out for the TREND_*.json form, default text table)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *trendPaths != "" {
+		return runTrend(*trendPaths, *out, stdout)
 	}
 
 	// Resolve the spec: file first, then explicit flags override.
@@ -249,6 +254,36 @@ func realMain(args []string, stdout io.Writer) error {
 		return fmt.Errorf("SLO violated:\n  %s", strings.Join(report.Violations, "\n  "))
 	}
 	return nil
+}
+
+// runTrend loads the named committed artifacts (BENCH_*.json, SIM_*.json)
+// and emits their cross-PR trend report: the schema-stable TREND_*.json
+// when -out names a file, otherwise a human-readable table on stdout.
+// Mirrors nontree-bench -trend so either harness can line up the
+// artifacts it produces.
+func runTrend(paths, outPath string, stdout io.Writer) error {
+	var list []string
+	for _, p := range strings.Split(paths, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			list = append(list, p)
+		}
+	}
+	report, err := expt.Trend(list)
+	if err != nil {
+		return err
+	}
+	if outPath == "" {
+		return report.Render(stdout)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parsePinMix parses "5:3,10:2,20:1" into a PinMix slice.

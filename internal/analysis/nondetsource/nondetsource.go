@@ -59,6 +59,11 @@ var Analyzer = &analysis.Analyzer{
 		// that the determinism comparisons exclude (DESIGN.md §10, §11).
 		"internal/obs",
 		"internal/trace",
+		// The wide-event log is in scope so events stay clock-free at the
+		// package level: every timing an olog.Event carries is stamped by
+		// serve through the obs stopwatch, and the deterministic projection
+		// (Event.Deterministic) excludes those fields (DESIGN.md §16).
+		"internal/olog",
 		// The workload simulator is in scope so its generation side stays a
 		// pure function of the spec seed: sim's math/rand import carries the
 		// seeded-stream justification, and the driver reads the clock only

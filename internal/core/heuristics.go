@@ -18,7 +18,8 @@ import (
 // be iterated until no further delay improvement is possible" — controlled
 // here by opts.MaxAddedEdges (0 means iterate to convergence; the paper
 // observes about two iterations in practice).
-func H1(seed *graph.Topology, opts Options) (*Result, error) {
+func H1(seed *graph.Topology, opts Options) (_ *Result, rerr error) {
+	defer func() { rerr = tagRequest(opts.RequestID, rerr) }()
 	if err := checkSeed(seed, &opts); err != nil {
 		return nil, err
 	}
@@ -141,7 +142,8 @@ func treeElmoreDelays(seed *graph.Topology, params rc.Params, width rc.WidthFunc
 // delays; pass ElmoreOracle to keep the whole run simulator-free.
 //
 // The seed must be a tree (classically the MST).
-func H2(seed *graph.Topology, params rc.Params, opts Options) (*Result, error) {
+func H2(seed *graph.Topology, params rc.Params, opts Options) (_ *Result, rerr error) {
+	defer func() { rerr = tagRequest(opts.RequestID, rerr) }()
 	return elmoreSelectedAddition(seed, params, opts, func(delays []float64, t *graph.Topology) (int, error) {
 		worst, _ := elmore.ArgMaxSinkDelay(delays, t.NumPins())
 		return worst, nil
@@ -153,7 +155,8 @@ func H2(seed *graph.Topology, params rc.Params, opts Options) (*Result, error) {
 // needs no simulator and adds the edge unconditionally; unlike H2 its score
 // discounts sinks whose shortcut wire would be long, trading delay
 // improvement against wirelength.
-func H3(seed *graph.Topology, params rc.Params, opts Options) (*Result, error) {
+func H3(seed *graph.Topology, params rc.Params, opts Options) (_ *Result, rerr error) {
+	defer func() { rerr = tagRequest(opts.RequestID, rerr) }()
 	return elmoreSelectedAddition(seed, params, opts, func(delays []float64, t *graph.Topology) (int, error) {
 		best, bestScore := -1, -1.0
 		for sink := 1; sink < t.NumPins(); sink++ {

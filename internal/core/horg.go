@@ -41,7 +41,8 @@ func (r *HORGResult) FinalObjective() float64 { return r.Sizing.FinalObjective }
 //
 // When useSteiner is false the pipeline seeds from the MST instead,
 // yielding the Steiner-free HORG restriction.
-func HORG(pins []geom.Point, alphas []float64, useSteiner bool, wsOpts WireSizeOptions, opts Options) (*HORGResult, error) {
+func HORG(pins []geom.Point, alphas []float64, useSteiner bool, wsOpts WireSizeOptions, opts Options) (_ *HORGResult, rerr error) {
+	defer func() { rerr = tagRequest(opts.RequestID, rerr) }()
 	if len(alphas) != len(pins)-1 {
 		return nil, fmt.Errorf("core: %d criticalities for %d sinks", len(alphas), len(pins)-1)
 	}

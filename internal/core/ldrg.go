@@ -70,6 +70,11 @@ type Options struct {
 	// canonical candidate order — so for a fixed seed the deterministic
 	// event fields are byte-identical at any Workers value (DESIGN.md §11).
 	Trace trace.Tracer
+	// RequestID tags the run with the serve-layer request identity
+	// ("" outside the daemon). Provenance only: it is copied into oracle
+	// error tags and the daemon's wide event, never read by any sweep
+	// decision (DESIGN.md §16).
+	RequestID string
 }
 
 func (o *Options) objective() Objective {
@@ -175,7 +180,8 @@ var (
 //
 // The paper's formulation evaluates t(·) with SPICE; the oracle choice in
 // opts selects between that reference behaviour and the fast Elmore model.
-func LDRG(seed *graph.Topology, opts Options) (*Result, error) {
+func LDRG(seed *graph.Topology, opts Options) (_ *Result, rerr error) {
+	defer func() { rerr = tagRequest(opts.RequestID, rerr) }()
 	if err := checkSeed(seed, &opts); err != nil {
 		return nil, err
 	}

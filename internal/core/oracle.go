@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"nontree/internal/elmore"
 	"nontree/internal/graph"
@@ -64,6 +65,10 @@ type ElmoreOracle struct {
 	// event order is deterministic only in sequential contexts — the
 	// greedy sweeps therefore never set this themselves (DESIGN.md §11).
 	Trace trace.Tracer
+	// RequestID tags oracle errors with the serve-layer request identity
+	// ("" outside the daemon). Provenance only — never an algorithm input,
+	// so it cannot affect which edges are selected (DESIGN.md §16).
+	RequestID string
 }
 
 // Name implements DelayOracle.
@@ -73,14 +78,16 @@ func (o *ElmoreOracle) Name() string { return "elmore" }
 //
 //nontree:unit return s
 func (o *ElmoreOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float64, error) {
+	defer obs.StartSpan(o.Obs, obs.TimeOracleSeconds).End()
 	l, err := rc.Lump(t, o.Params, width)
 	if err != nil {
-		return nil, err
+		return nil, tagRequest(o.RequestID, err)
 	}
 	obs.OrNop(o.Obs).Add(obs.CtrElmoreSolves, 1)
 	trace.OrNop(o.Trace).Emit(trace.Event{Kind: trace.KindOracleEval,
 		Oracle: o.Name(), N: int64(t.NumNodes())})
-	return elmore.GraphDelays(t, l)
+	d, err := elmore.GraphDelays(t, l)
+	return d, tagRequest(o.RequestID, err)
 }
 
 // NewIncrementalSweep implements IncrementalScorer: the Elmore model is
@@ -102,6 +109,9 @@ type TwoPoleOracle struct {
 	// Trace emits one oracle_eval event per SinkDelays call (nil =
 	// discard); same ordering caveat as ElmoreOracle.Trace.
 	Trace trace.Tracer
+	// RequestID tags oracle errors with the serve-layer request identity;
+	// same provenance-only contract as ElmoreOracle.RequestID.
+	RequestID string
 }
 
 // Name implements DelayOracle.
@@ -111,14 +121,16 @@ func (o *TwoPoleOracle) Name() string { return "twopole" }
 //
 //nontree:unit return s
 func (o *TwoPoleOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float64, error) {
+	defer obs.StartSpan(o.Obs, obs.TimeOracleSeconds).End()
 	l, err := rc.Lump(t, o.Params, width)
 	if err != nil {
-		return nil, err
+		return nil, tagRequest(o.RequestID, err)
 	}
 	obs.OrNop(o.Obs).Add(obs.CtrElmoreSolves, 2) // first and second moment solves
 	trace.OrNop(o.Trace).Emit(trace.Event{Kind: trace.KindOracleEval,
 		Oracle: o.Name(), N: int64(t.NumNodes())})
-	return elmore.TwoPoleDelays(t, l)
+	d, err := elmore.TwoPoleDelays(t, l)
+	return d, tagRequest(o.RequestID, err)
 }
 
 // SpiceOracle evaluates delays with the transient circuit simulator — the
@@ -139,6 +151,9 @@ type SpiceOracle struct {
 	// Trace emits one oracle_eval event per SinkDelays call (nil =
 	// discard); same ordering caveat as ElmoreOracle.Trace.
 	Trace trace.Tracer
+	// RequestID tags oracle errors with the serve-layer request identity;
+	// same provenance-only contract as ElmoreOracle.RequestID.
+	RequestID string
 }
 
 // Name implements DelayOracle.
@@ -148,13 +163,14 @@ func (o *SpiceOracle) Name() string { return "spice" }
 //
 //nontree:unit return s
 func (o *SpiceOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float64, error) {
+	defer obs.StartSpan(o.Obs, obs.TimeOracleSeconds).End()
 	opts := o.Build
 	if width != nil {
 		opts.Width = width
 	}
 	cm, err := rc.BuildCircuit(t, o.Params, opts)
 	if err != nil {
-		return nil, err
+		return nil, tagRequest(o.RequestID, err)
 	}
 	mo := o.Measure
 	//nontree:allow floatcmp zero is the exact zero-value sentinel for an unset config field, never a computed delay
@@ -168,13 +184,30 @@ func (o *SpiceOracle) SinkDelays(t *graph.Topology, width rc.WidthFunc) ([]float
 		Oracle: o.Name(), N: int64(t.NumNodes())})
 	crossings, err := spice.MeasureDelays(cm.Circuit, cm.SinkNodes, mo)
 	if err != nil {
-		return nil, fmt.Errorf("core: spice oracle on %d-node topology: %w", t.NumNodes(), err)
+		return nil, tagRequest(o.RequestID,
+			fmt.Errorf("core: spice oracle on %d-node topology: %w", t.NumNodes(), err))
 	}
 	delays := make([]float64, t.NumNodes())
 	for i, d := range crossings {
 		delays[i+1] = d // SinkNodes are topology nodes 1..NumPins-1 in order
 	}
 	return delays, nil
+}
+
+// tagRequest wraps an error with the request identity so a failure
+// surfaced at /route names the wide event it belongs to. id "" (the
+// non-daemon case) and nil errors pass through untouched, and an error
+// already carrying this id's tag is not tagged again — oracles and the
+// sweep entry points both tag, and composite algorithms (SLDRG, HORG)
+// nest entry points.
+func tagRequest(id string, err error) error {
+	if err == nil || id == "" {
+		return err
+	}
+	if strings.Contains(err.Error(), "[request "+id+"]") {
+		return err
+	}
+	return fmt.Errorf("[request %s] %w", id, err)
 }
 
 // Objective reduces per-sink delays to the scalar an algorithm minimizes.

@@ -21,7 +21,8 @@ import (
 // Each accepted tap adds one Steiner node and replaces one edge by two
 // cost-neutral halves plus the new wire, so the wirelength penalty of a
 // tap is exactly the new wire's length.
-func LDRGWithTaps(seed *graph.Topology, opts Options) (*Result, error) {
+func LDRGWithTaps(seed *graph.Topology, opts Options) (_ *Result, rerr error) {
+	defer func() { rerr = tagRequest(opts.RequestID, rerr) }()
 	if err := checkSeed(seed, &opts); err != nil {
 		return nil, err
 	}

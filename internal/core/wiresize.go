@@ -50,6 +50,11 @@ type WireSizeOptions struct {
 	// contract as Options.Trace. Widening candidates carry the proposed
 	// width; accepted widenings emit wiresize_step events.
 	Trace trace.Tracer
+	// RequestID tags the run with the serve-layer request identity
+	// ("" outside the daemon). Provenance only: it is copied into oracle
+	// error tags and the daemon's wide event, never read by any sweep
+	// decision (DESIGN.md §16).
+	RequestID string
 }
 
 // WireSizeResult reports a WSORG run.
@@ -113,7 +118,8 @@ func (r *WireSizeResult) WidthFunc() rc.WidthFunc {
 // capacitance by w — the first-order model under which "two separate
 // parallel wires of width w ... [are] equivalent to a single wire of width
 // 2w" as the paper observes.
-func WireSize(t *graph.Topology, opts WireSizeOptions) (*WireSizeResult, error) {
+func WireSize(t *graph.Topology, opts WireSizeOptions) (_ *WireSizeResult, rerr error) {
+	defer func() { rerr = tagRequest(opts.RequestID, rerr) }()
 	if t == nil {
 		return nil, ErrSeedNil
 	}

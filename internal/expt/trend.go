@@ -1,0 +1,229 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"nontree/internal/sim"
+)
+
+// Cross-PR artifact trend tracking (ROADMAP item 4): every PR commits its
+// measurement artifacts (BENCH_*.json, SIM_*.json) and the trend report
+// lines their headline metrics up side by side, so a delay-ratio or
+// latency regression is visible as a column-to-column drift instead of
+// being buried in two 50 KB JSON files. The report is itself a
+// schema-stable artifact (TREND_*.json): regenerating it from the same
+// inputs is byte-identical, which is what the regression test in
+// cmd/nontree-bench pins.
+
+// TrendSchemaVersion identifies the TREND_*.json layout. Bump it only
+// when a field is renamed or removed; adding metrics is backward
+// compatible.
+const TrendSchemaVersion = 1
+
+// TrendArtifact records one input artifact in scan order.
+type TrendArtifact struct {
+	// Label is the artifact's basename (BENCH_PR4.json), the column
+	// header of the rendered table.
+	Label string `json:"label"`
+	// Kind classifies the artifact: "bench" or "sim".
+	Kind string `json:"kind"`
+	// SchemaVersion echoes the artifact's own schema version.
+	SchemaVersion int `json:"schema_version"`
+}
+
+// TrendMetric is one tracked metric across all artifacts.
+type TrendMetric struct {
+	Name string `json:"name"`
+	// Values holds one entry per artifact, in artifact order; null where
+	// the artifact does not carry the metric (a sim metric has no value
+	// in a bench column and vice versa).
+	Values []*float64 `json:"values"`
+	// First and Last are the earliest and latest non-null values.
+	First float64 `json:"first"`
+	Last  float64 `json:"last"`
+	// Ratio is Last/First — the headline drift across the tracked span —
+	// omitted when First is zero.
+	Ratio *float64 `json:"ratio,omitempty"`
+}
+
+// TrendReport is the machine-readable output of Trend — the schema behind
+// TREND_*.json.
+type TrendReport struct {
+	SchemaVersion int             `json:"schema_version"`
+	Artifacts     []TrendArtifact `json:"artifacts"`
+	Metrics       []TrendMetric   `json:"metrics"`
+}
+
+// Trend loads the given committed artifacts — classified by basename
+// prefix: BENCH_* are bench reports, SIM_* are soak reports — and lines
+// their headline metrics up in artifact order. Bench artifacts contribute
+// bench.<algorithm>.{mean_delay_ratio, mean_cost_ratio,
+// oracle_evaluations, wall_seconds} per aggregate; sim artifacts
+// contribute sim.{latency.p50_s, latency.p99_s, throughput_qps,
+// error_rate, shed_rate, requests}. Metrics are sorted by name so the
+// report layout is independent of artifact contents.
+func Trend(paths []string) (*TrendReport, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("expt: trend needs at least one artifact")
+	}
+	report := &TrendReport{SchemaVersion: TrendSchemaVersion}
+	columns := make([]map[string]float64, 0, len(paths))
+	for _, path := range paths {
+		base := filepath.Base(path)
+		var (
+			art  TrendArtifact
+			vals map[string]float64
+		)
+		switch {
+		case strings.HasPrefix(base, "BENCH_"):
+			r, err := LoadBenchReport(path)
+			if err != nil {
+				return nil, err
+			}
+			art = TrendArtifact{Label: base, Kind: "bench", SchemaVersion: r.SchemaVersion}
+			vals = benchTrendValues(r)
+		case strings.HasPrefix(base, "SIM_"):
+			r, err := sim.LoadReport(path)
+			if err != nil {
+				return nil, err
+			}
+			art = TrendArtifact{Label: base, Kind: "sim", SchemaVersion: r.SchemaVersion}
+			vals = simTrendValues(r)
+		default:
+			return nil, fmt.Errorf("expt: cannot classify artifact %s: basename must start with BENCH_ or SIM_", path)
+		}
+		report.Artifacts = append(report.Artifacts, art)
+		columns = append(columns, vals)
+	}
+
+	names := map[string]bool{}
+	for _, col := range columns {
+		for name := range col {
+			names[name] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		m := TrendMetric{Name: name, Values: make([]*float64, len(columns))}
+		seen := false
+		for i, col := range columns {
+			v, ok := col[name]
+			if !ok {
+				continue
+			}
+			val := v
+			m.Values[i] = &val
+			if !seen {
+				m.First = v
+				seen = true
+			}
+			m.Last = v
+		}
+		//nontree:allow floatcmp zero is the exact divide-by-zero guard for the ratio, not a tolerance decision
+		if m.First != 0 {
+			ratio := m.Last / m.First
+			m.Ratio = &ratio
+		}
+		report.Metrics = append(report.Metrics, m)
+	}
+	return report, nil
+}
+
+// benchTrendValues extracts the headline per-algorithm metrics of one
+// bench artifact, keyed by trend metric name.
+func benchTrendValues(r *BenchReport) map[string]float64 {
+	algos := make([]string, 0, len(r.Aggregates))
+	for algo := range r.Aggregates {
+		algos = append(algos, algo)
+	}
+	sort.Strings(algos)
+	vals := make(map[string]float64, 4*len(algos))
+	for _, algo := range algos {
+		agg := r.Aggregates[algo]
+		prefix := "bench." + algo + "."
+		vals[prefix+"mean_delay_ratio"] = agg.MeanDelayRatio
+		vals[prefix+"mean_cost_ratio"] = agg.MeanCostRatio
+		vals[prefix+"oracle_evaluations"] = float64(agg.TotalOracleEvaluations)
+		vals[prefix+"wall_seconds"] = agg.TotalWallSeconds
+	}
+	return vals
+}
+
+// simTrendValues extracts the headline client-side metrics of one soak
+// artifact, keyed by trend metric name.
+func simTrendValues(r *sim.Report) map[string]float64 {
+	t := r.Totals
+	return map[string]float64{
+		"sim.latency.p50_s":  t.Latency.P50,
+		"sim.latency.p99_s":  t.Latency.P99,
+		"sim.throughput_qps": t.ThroughputQPS,
+		"sim.error_rate":     t.ErrorRate,
+		"sim.shed_rate":      t.ShedRate,
+		"sim.requests":       float64(t.Requests),
+	}
+}
+
+// WriteJSON writes the report as indented JSON — the byte-stable form
+// committed as TREND_*.json.
+func (r *TrendReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render writes the human-readable trend table: one column per artifact,
+// one row per metric, with the last/first ratio when defined.
+func (r *TrendReport) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "metric")
+	for _, a := range r.Artifacts {
+		fmt.Fprintf(tw, "\t%s", a.Label)
+	}
+	fmt.Fprintf(tw, "\tratio\n")
+	for _, m := range r.Metrics {
+		fmt.Fprintf(tw, "%s", m.Name)
+		for _, v := range m.Values {
+			if v == nil {
+				fmt.Fprintf(tw, "\t-")
+			} else {
+				fmt.Fprintf(tw, "\t%.6g", *v)
+			}
+		}
+		if m.Ratio == nil {
+			fmt.Fprintf(tw, "\t-\n")
+		} else {
+			fmt.Fprintf(tw, "\t%.4f\n", *m.Ratio)
+		}
+	}
+	return tw.Flush()
+}
+
+// LoadTrendReport reads a committed TREND_*.json artifact, gating on the
+// schema version so drift fails loudly instead of comparing garbage.
+func LoadTrendReport(path string) (*TrendReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("expt: reading trend report: %w", err)
+	}
+	var r TrendReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("expt: parsing trend report %s: %w", path, err)
+	}
+	if r.SchemaVersion != TrendSchemaVersion {
+		return nil, fmt.Errorf("expt: trend report %s has schema %d, this binary writes %d",
+			path, r.SchemaVersion, TrendSchemaVersion)
+	}
+	return &r, nil
+}

@@ -1,0 +1,230 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"nontree/internal/sim"
+)
+
+// writeTrendArtifact writes v as JSON under dir with the given basename.
+func writeTrendArtifact(t *testing.T, dir, base string, v interface{}) string {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, base)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchArtifact(meanDelay, meanCost float64, evals int64, walls float64) *BenchReport {
+	return &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Aggregates: map[string]BenchAggregate{
+			"ldrg": {
+				Entries:                3,
+				MeanDelayRatio:         meanDelay,
+				MeanCostRatio:          meanCost,
+				TotalOracleEvaluations: evals,
+				TotalWallSeconds:       walls,
+			},
+		},
+	}
+}
+
+func simArtifact(p50, p99, qps float64, requests int64) *sim.Report {
+	r := &sim.Report{SchemaVersion: sim.SimSchemaVersion}
+	r.Totals.Requests = requests
+	r.Totals.ThroughputQPS = qps
+	r.Totals.Latency.P50 = p50
+	r.Totals.Latency.P99 = p99
+	return r
+}
+
+func TestTrendAcrossBenchAndSim(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		writeTrendArtifact(t, dir, "BENCH_PR4.json", benchArtifact(0.85, 1.20, 400, 2.0)),
+		writeTrendArtifact(t, dir, "BENCH_PR6.json", benchArtifact(0.85, 1.20, 100, 1.5)),
+		writeTrendArtifact(t, dir, "SIM_PR9.json", simArtifact(0.002, 0.009, 430, 256)),
+	}
+	report, err := Trend(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SchemaVersion != TrendSchemaVersion {
+		t.Errorf("schema = %d, want %d", report.SchemaVersion, TrendSchemaVersion)
+	}
+	if len(report.Artifacts) != 3 {
+		t.Fatalf("artifacts = %+v", report.Artifacts)
+	}
+	wantArts := []TrendArtifact{
+		{Label: "BENCH_PR4.json", Kind: "bench", SchemaVersion: BenchSchemaVersion},
+		{Label: "BENCH_PR6.json", Kind: "bench", SchemaVersion: BenchSchemaVersion},
+		{Label: "SIM_PR9.json", Kind: "sim", SchemaVersion: sim.SimSchemaVersion},
+	}
+	for i, want := range wantArts {
+		if report.Artifacts[i] != want {
+			t.Errorf("artifact %d = %+v, want %+v", i, report.Artifacts[i], want)
+		}
+	}
+
+	byName := make(map[string]TrendMetric, len(report.Metrics))
+	var names []string
+	for _, m := range report.Metrics {
+		byName[m.Name] = m
+		names = append(names, m.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("metrics not sorted by name: %v", names)
+	}
+
+	// The optimization story: evaluations went from 400 to 100 and the
+	// ratio records the 4× reduction; decisions (delay ratio) unchanged.
+	evals, ok := byName["bench.ldrg.oracle_evaluations"]
+	if !ok {
+		t.Fatalf("no oracle_evaluations metric; have %v", names)
+	}
+	if len(evals.Values) != 3 || evals.Values[0] == nil || evals.Values[1] == nil || evals.Values[2] != nil {
+		t.Fatalf("oracle_evaluations values = %v (want bench columns only)", evals.Values)
+	}
+	if *evals.Values[0] != 400 || *evals.Values[1] != 100 {
+		t.Errorf("oracle_evaluations = %g, %g", *evals.Values[0], *evals.Values[1])
+	}
+	if evals.First != 400 || evals.Last != 100 || evals.Ratio == nil || *evals.Ratio != 0.25 {
+		t.Errorf("oracle_evaluations trend = first %g last %g ratio %v", evals.First, evals.Last, evals.Ratio)
+	}
+
+	// Sim metrics occupy only the sim column.
+	p99, ok := byName["sim.latency.p99_s"]
+	if !ok {
+		t.Fatalf("no sim p99 metric; have %v", names)
+	}
+	if p99.Values[0] != nil || p99.Values[1] != nil || p99.Values[2] == nil || *p99.Values[2] != 0.009 {
+		t.Errorf("sim p99 values = %v", p99.Values)
+	}
+	if p99.First != 0.009 || p99.Last != 0.009 || p99.Ratio == nil || *p99.Ratio != 1 {
+		t.Errorf("sim p99 trend = first %g last %g ratio %v", p99.First, p99.Last, p99.Ratio)
+	}
+
+	// A metric whose first value is zero carries no ratio.
+	errRate := byName["sim.error_rate"]
+	if errRate.Ratio != nil {
+		t.Errorf("zero-first metric has ratio %v", *errRate.Ratio)
+	}
+
+	// The rendered table names every artifact and metric.
+	var buf bytes.Buffer
+	if err := report.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BENCH_PR4.json", "SIM_PR9.json", "bench.ldrg.mean_delay_ratio", "sim.throughput_qps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrendJSONRoundTripAndStability(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		writeTrendArtifact(t, dir, "BENCH_A.json", benchArtifact(0.9, 1.1, 50, 1.0)),
+		writeTrendArtifact(t, dir, "SIM_A.json", simArtifact(0.001, 0.004, 900, 128)),
+	}
+	report, err := Trend(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := report.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	// Regenerating from the same inputs is byte-identical — the property
+	// the committed TREND artifact's regression test relies on.
+	again, err := Trend(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := again.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("trend output unstable:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+	}
+
+	out := filepath.Join(dir, "TREND.json")
+	if err := os.WriteFile(out, first.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrendReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var third bytes.Buffer
+	if err := loaded.WriteJSON(&third); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), third.Bytes()) {
+		t.Fatalf("load→write drifted:\n%s\nvs\n%s", first.Bytes(), third.Bytes())
+	}
+}
+
+func TestTrendRejectsDriftAndUnknownArtifacts(t *testing.T) {
+	dir := t.TempDir()
+
+	// A bench artifact from a future schema is refused, not misread.
+	future := benchArtifact(0.9, 1.1, 50, 1.0)
+	future.SchemaVersion = BenchSchemaVersion + 1
+	bad := writeTrendArtifact(t, dir, "BENCH_FUTURE.json", future)
+	if _, err := Trend([]string{bad}); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("future bench schema accepted: %v", err)
+	}
+
+	// Same for sim artifacts.
+	futureSim := simArtifact(0.001, 0.004, 900, 128)
+	futureSim.SchemaVersion = sim.SimSchemaVersion + 1
+	badSim := writeTrendArtifact(t, dir, "SIM_FUTURE.json", futureSim)
+	if _, err := Trend([]string{badSim}); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("future sim schema accepted: %v", err)
+	}
+
+	// Unclassifiable basenames are refused.
+	odd := writeTrendArtifact(t, dir, "NOTES.json", benchArtifact(0.9, 1.1, 50, 1.0))
+	if _, err := Trend([]string{odd}); err == nil || !strings.Contains(err.Error(), "classify") {
+		t.Errorf("unclassifiable artifact accepted: %v", err)
+	}
+
+	// An empty path list is an error, not an empty report.
+	if _, err := Trend(nil); err == nil {
+		t.Error("empty artifact list accepted")
+	}
+
+	// A trend report from a future schema is refused on load.
+	report, err := Trend([]string{writeTrendArtifact(t, dir, "BENCH_OK.json", benchArtifact(0.9, 1.1, 50, 1.0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.SchemaVersion = TrendSchemaVersion + 1
+	drifted := filepath.Join(dir, "TREND_FUTURE.json")
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(drifted, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrendReport(drifted); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("future trend schema accepted: %v", err)
+	}
+}

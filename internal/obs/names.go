@@ -99,6 +99,15 @@ const (
 	CtrRouteRejected = "serve.route.rejected"
 	// CtrTraceEvictions counts traces evicted from the retention window.
 	CtrTraceEvictions = "serve.traces.evictions"
+	// CtrLogEvents counts wide events appended to the request log ring
+	// (exactly one per /route request, whatever its outcome).
+	CtrLogEvents = "serve.log.events"
+	// CtrLogDropped counts wide events discarded because request logging
+	// is disabled (Options.MaxLogEvents < 0).
+	CtrLogDropped = "serve.log.dropped"
+	// CtrLogEvictions counts wide events evicted from the log ring by
+	// wraparound.
+	CtrLogEvictions = "serve.log.evictions"
 
 	// --- package sim: the nontree-sim workload driver ---
 	//
@@ -136,6 +145,11 @@ const (
 	TimeSweep = "core.sweep.seconds"
 	// TimeSweepWorker spans one worker goroutine's share of a sweep.
 	TimeSweepWorker = "core.sweep.worker.seconds"
+	// TimeOracleSeconds spans one DelayOracle.SinkDelays evaluation. The
+	// serve layer reads its per-request sum from a private registry to
+	// attribute /route latency to oracle work vs. sweep bookkeeping in the
+	// wide event's phase breakdown (DESIGN.md §16).
+	TimeOracleSeconds = "core.oracle.seconds"
 	// TimeRouteSeconds is the wall-clock /route handling distribution.
 	TimeRouteSeconds = "serve.route.seconds"
 	// TimeSimRequestSeconds is the workload driver's client-observed
@@ -188,6 +202,9 @@ func ServeCounterNames() []string {
 		CtrRouteErrors,
 		CtrRouteRejected,
 		CtrTraceEvictions,
+		CtrLogEvents,
+		CtrLogDropped,
+		CtrLogEvictions,
 	}
 }
 
@@ -206,7 +223,7 @@ func SimCounterNames() []string {
 // TimingNames returns the wall-clock timing catalog (Timings section —
 // excluded from determinism guarantees).
 func TimingNames() []string {
-	return []string{TimeSweep, TimeSweepWorker, TimeRouteSeconds, TimeSimRequestSeconds}
+	return []string{TimeSweep, TimeSweepWorker, TimeOracleSeconds, TimeRouteSeconds, TimeSimRequestSeconds}
 }
 
 // Preregister creates every cataloged counter (at zero) and histogram
@@ -230,6 +247,7 @@ func PreregisterServe(g *Registry) {
 		g.Add(name, 0)
 	}
 	g.DeclareTiming(TimeRouteSeconds)
+	g.DeclareTiming(TimeOracleSeconds)
 }
 
 // PreregisterSim creates the workload driver's counters and its latency

@@ -68,6 +68,80 @@ func TestQuantileMonotoneAndClamped(t *testing.T) {
 	}
 }
 
+// TestQuantileSingleBucketMass pins the degenerate case where every
+// sample lands in one bucket: the interpolation spans only that bucket
+// and every quantile stays inside [Min, Max], which the clamp makes
+// tight for identical samples.
+func TestQuantileSingleBucketMass(t *testing.T) {
+	// 0.30, 0.35, 0.45 all share bucket [0.25, 0.5).
+	h := histOf(0.30, 0.35, 0.45)
+	lo, hi := math.Ldexp(1, -2), math.Ldexp(1, -1)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < lo || v >= hi {
+			t.Errorf("Quantile(%g) = %g left the only occupied bucket [%g, %g)", q, v, lo, hi)
+		}
+		if v < h.Min || v > h.Max {
+			t.Errorf("Quantile(%g) = %g outside [Min, Max] = [%g, %g]", q, v, h.Min, h.Max)
+		}
+	}
+	// All-identical samples: the clamp collapses the interpolation to the
+	// exact value at every quantile.
+	ident := histOf(0.3, 0.3, 0.3, 0.3)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := ident.Quantile(q); got != 0.3 {
+			t.Errorf("identical-sample Quantile(%g) = %g, want 0.3", q, got)
+		}
+	}
+}
+
+// TestQuantileBucketBoundaryInterpolation pins the linear interpolation
+// inside a bucket: with mass split across two adjacent buckets, the rank
+// that lands exactly on a bucket boundary must produce the boundary
+// value, and ranks inside a bucket interpolate linearly between its
+// edges.
+func TestQuantileBucketBoundaryInterpolation(t *testing.T) {
+	// Two samples in bucket [0.25, 0.5), two in bucket [0.5, 1).
+	h := histOf(0.3, 0.4, 0.6, 0.8)
+	// q=0.5 targets rank 2 — the full mass of the first bucket — so the
+	// interpolation reaches that bucket's upper edge exactly.
+	if got, want := h.Quantile(0.5), 0.5; got != want {
+		t.Errorf("boundary Quantile(0.5) = %g, want bucket edge %g", got, want)
+	}
+	// q=0.25 targets rank 1, half the first bucket's mass: halfway between
+	// 0.25 and 0.5.
+	if got, want := h.Quantile(0.25), 0.375; got != want {
+		t.Errorf("mid-bucket Quantile(0.25) = %g, want %g", got, want)
+	}
+	// q=0.75 targets rank 3, half the second bucket's mass: halfway
+	// between 0.5 and 1.
+	if got, want := h.Quantile(0.75), 0.75; got != want {
+		t.Errorf("mid-bucket Quantile(0.75) = %g, want %g", got, want)
+	}
+}
+
+// TestBucketIndexExemplarContract pins the exported bucketing used by the
+// wide-event exemplar link: BucketIndex(v) must be the bucket a
+// histogram's Observe(v) increments.
+func TestBucketIndexExemplarContract(t *testing.T) {
+	for _, v := range []float64{0, -1, math.NaN(), 1e-12, 0.001, 0.3, 1, 1.5, 1024, 1e12} {
+		g := NewRegistry()
+		g.Observe("h", v)
+		h := g.Snapshot().Histograms["h"]
+		idx := BucketIndex(v)
+		if n := h.Buckets[idx]; n != 1 {
+			t.Errorf("BucketIndex(%g) = %d, but Observe landed in %v", v, idx, h.Buckets)
+		}
+	}
+	// The documented bucket bounds: index i holds 2^(i−32) ≤ v < 2^(i−31).
+	if lo, hi := BucketIndex(0.25), BucketIndex(0.4999); lo != 30 || hi != 30 {
+		t.Errorf("bucket [0.25, 0.5) mapped to %d and %d, want 30", lo, hi)
+	}
+	if got := BucketIndex(0.5); got != 31 {
+		t.Errorf("BucketIndex(0.5) = %d, want 31", got)
+	}
+}
+
 func TestPreregisterSimFreezesSchema(t *testing.T) {
 	g := NewRegistry()
 	PreregisterSim(g)

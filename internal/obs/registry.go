@@ -141,6 +141,15 @@ func bucketIndex(v float64) int {
 	return e
 }
 
+// BucketIndex exposes the histogram bucketing for exemplar links: it
+// returns the bucket index a sample of v lands in, so a wide event can
+// point at the exact serve.route.seconds bucket its latency was counted
+// under (DESIGN.md §16). Index i holds 2^(i−32) ≤ v < 2^(i−31); zero,
+// negative and NaN samples land in bucket 0.
+func BucketIndex(v float64) int {
+	return bucketIndex(v)
+}
+
 func (h *histogram) observe(v float64) {
 	h.count.Add(1)
 	h.buckets[bucketIndex(v)].Add(1)

@@ -1,0 +1,421 @@
+// Package olog is the request-scoped wide-event telemetry layer of the
+// serve daemon: exactly one Event per /route request, canonically encoded
+// as JSONL with a bit-exact round trip, retained in a bounded Ring and
+// exposed at GET /logs (DESIGN.md §16).
+//
+// The event is "wide" in the structured-logging sense: one record carries
+// the whole request — identity (request id, net, options), outcome,
+// per-phase latency breakdown, per-request obs counter deltas, and the
+// exemplar links from the request id to its stored trace and to the
+// Prometheus latency bucket the request landed in.
+//
+// Determinism contract: the phase timings, the latency bucket, the
+// Workers echo and the render-time trace tombstone are the event's only
+// nondeterministic fields. Event.Deterministic clears them, and every
+// byte-identity guarantee (the serve tests pin Workers ∈ {1, 4,
+// GOMAXPROCS}) is stated over that projection — the same contract package
+// trace states for Event.Elapsed (DESIGN.md §11). The package itself
+// never reads the clock; the serve layer stamps timings measured through
+// the sanctioned obs helpers.
+package olog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Request outcomes. Exactly one event is emitted per /route request,
+// whatever happens to it — the wide event is the one record that exists
+// even when no trace was retained (shed, drained, timed-out requests).
+const (
+	// OutcomeOK marks a routed request answered 200.
+	OutcomeOK = "ok"
+	// OutcomeError marks a failed request: undecodable body, invalid
+	// options, or a routing error (4xx/422).
+	OutcomeError = "error"
+	// OutcomeShed marks a request refused by the concurrency limiter (429).
+	OutcomeShed = "shed"
+	// OutcomeDrained marks a request refused because the server is
+	// draining (503 with Retry-After).
+	OutcomeDrained = "drained"
+	// OutcomeTimeout marks a request whose handler outlived the request
+	// timeout: the client already received the timeout 503, no trace is
+	// retained, and the event is appended when the handler finishes.
+	OutcomeTimeout = "timeout"
+)
+
+// Event is one request's wide event. All fields except the phase timings
+// (*Seconds), LatencyBucket, Workers and TraceTombstoned are
+// deterministic: for a fixed request they are byte-identical in the
+// canonical encoding at any Workers value.
+type Event struct {
+	// Seq is the stable event ID, assigned by the ring in emission order
+	// starting at 1.
+	Seq int64
+	// RequestID is the server-assigned request identity ("r%08d"), echoed
+	// in the X-Request-ID response header and the /route reply.
+	RequestID string
+	// Net is the routed net's name ("" when anonymous or never decoded).
+	Net string
+	// Pins is the routed net's pin count (0 when never decoded).
+	Pins int
+	// Algo and Oracle echo the normalized route options.
+	Algo, Oracle string
+	// Workers echoes the per-request sweep worker knob — excluded from the
+	// deterministic projection so the Workers-invariance guarantee can be
+	// stated across different values.
+	Workers int
+	// Outcome is one of the Outcome constants.
+	Outcome string
+	// Status is the HTTP status the client was answered with.
+	Status int
+	// Error carries the error message of a non-ok outcome.
+	Error string
+	// TraceID links the request to its stored execution trace
+	// (/traces/<id>); empty when no trace was retained.
+	TraceID string
+	// TraceEvents and TraceDropped report the trace ring occupancy.
+	TraceEvents  int
+	TraceDropped int64
+	// TraceTombstoned is a render-time flag: /logs?request= sets it when
+	// TraceID no longer resolves because the trace aged out of retention.
+	// Stored events always carry false.
+	TraceTombstoned bool
+	// Per-request obs counter deltas, read from a private registry scoped
+	// to this request (deterministic at any Workers value, DESIGN.md §10).
+	Candidates  int64
+	Accepted    int64
+	Pruned      int64
+	OracleEvals int64
+	CacheHits   int64
+	// Per-phase latency breakdown (wall-clock seconds, nondeterministic):
+	// queue wait for a concurrency slot, body decode, greedy sweeps minus
+	// oracle time, delay-oracle evaluations, trace storage. The phases sum
+	// to TotalSeconds within the accounting slack of response writing.
+	QueueSeconds  float64
+	DecodeSeconds float64
+	SweepSeconds  float64
+	OracleSeconds float64
+	StoreSeconds  float64
+	// TotalSeconds is the request's total wall-clock time as stamped at
+	// emission.
+	TotalSeconds float64
+	// LatencyBucket is the exemplar link into the serve.route.seconds
+	// Prometheus histogram: the obs.BucketIndex bucket TotalSeconds
+	// landed in.
+	LatencyBucket int
+}
+
+// Deterministic returns the event with its nondeterministic fields
+// (phase timings, latency bucket, Workers echo, render-time tombstone)
+// cleared — the projection every byte-identity guarantee and Diff
+// operate on.
+func (e Event) Deterministic() Event {
+	e.Workers = 0
+	e.TraceTombstoned = false
+	e.QueueSeconds = 0
+	e.DecodeSeconds = 0
+	e.SweepSeconds = 0
+	e.OracleSeconds = 0
+	e.StoreSeconds = 0
+	e.TotalSeconds = 0
+	e.LatencyBucket = 0
+	return e
+}
+
+// jsonEvent is the wire form of Event: floats are hex-literal strings so
+// the encoding is bit-exact, and every zero-valued field is omitted so
+// decode→encode reproduces the input bytes (the same scheme as
+// trace.Event).
+type jsonEvent struct {
+	Seq             int64  `json:"seq"`
+	RequestID       string `json:"request_id"`
+	Net             string `json:"net,omitempty"`
+	Pins            int    `json:"pins,omitempty"`
+	Algo            string `json:"algo,omitempty"`
+	Oracle          string `json:"oracle,omitempty"`
+	Workers         int    `json:"workers,omitempty"`
+	Outcome         string `json:"outcome"`
+	Status          int    `json:"status,omitempty"`
+	Error           string `json:"error,omitempty"`
+	TraceID         string `json:"trace_id,omitempty"`
+	TraceEvents     int    `json:"trace_events,omitempty"`
+	TraceDropped    int64  `json:"trace_dropped,omitempty"`
+	TraceTombstoned bool   `json:"trace_tombstoned,omitempty"`
+	Candidates      int64  `json:"candidates,omitempty"`
+	Accepted        int64  `json:"accepted,omitempty"`
+	Pruned          int64  `json:"pruned,omitempty"`
+	OracleEvals     int64  `json:"oracle_evals,omitempty"`
+	CacheHits       int64  `json:"cache_hits,omitempty"`
+	QueueSeconds    string `json:"queue_s,omitempty"`
+	DecodeSeconds   string `json:"decode_s,omitempty"`
+	SweepSeconds    string `json:"sweep_s,omitempty"`
+	OracleSeconds   string `json:"oracle_s,omitempty"`
+	StoreSeconds    string `json:"store_s,omitempty"`
+	TotalSeconds    string `json:"total_s,omitempty"`
+	LatencyBucket   int    `json:"latency_bucket,omitempty"`
+}
+
+// formatFloat renders a float as a hex literal ("0x1.8p+01"), the exact,
+// locale-free form strconv.ParseFloat reads back bit-identically. The
+// zero bit pattern renders as "" (the field is then omitted); NaNs are
+// canonicalized — wide events never carry NaN payloads.
+func formatFloat(v float64) string {
+	if math.Float64bits(v) == 0 {
+		return ""
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+// canonString maps a string to the canonical form the JSON layer
+// preserves: invalid UTF-8 is replaced by U+FFFD up front, so the first
+// encoding already carries the bytes every later decode→encode cycle
+// reproduces.
+func canonString(s string) string {
+	return strings.ToValidUTF8(s, "�")
+}
+
+func parseFloat(s, field string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("olog: field %q: %w", field, err)
+	}
+	return v, nil
+}
+
+// Encode renders the event as one canonical JSON line (no trailing
+// newline). The encoding is a pure function of the event: fixed key
+// order, hex-literal floats, zero-valued fields omitted — so two equal
+// events encode to identical bytes and Decode(Encode(e)) round-trips
+// every field bit-exactly (NaN payloads are canonicalized, and invalid
+// UTF-8 in string fields is replaced by U+FFFD up front).
+func (e Event) Encode() []byte {
+	je := jsonEvent{
+		Seq:             e.Seq,
+		RequestID:       canonString(e.RequestID),
+		Net:             canonString(e.Net),
+		Pins:            e.Pins,
+		Algo:            canonString(e.Algo),
+		Oracle:          canonString(e.Oracle),
+		Workers:         e.Workers,
+		Outcome:         canonString(e.Outcome),
+		Status:          e.Status,
+		Error:           canonString(e.Error),
+		TraceID:         canonString(e.TraceID),
+		TraceEvents:     e.TraceEvents,
+		TraceDropped:    e.TraceDropped,
+		TraceTombstoned: e.TraceTombstoned,
+		Candidates:      e.Candidates,
+		Accepted:        e.Accepted,
+		Pruned:          e.Pruned,
+		OracleEvals:     e.OracleEvals,
+		CacheHits:       e.CacheHits,
+		QueueSeconds:    formatFloat(e.QueueSeconds),
+		DecodeSeconds:   formatFloat(e.DecodeSeconds),
+		SweepSeconds:    formatFloat(e.SweepSeconds),
+		OracleSeconds:   formatFloat(e.OracleSeconds),
+		StoreSeconds:    formatFloat(e.StoreSeconds),
+		TotalSeconds:    formatFloat(e.TotalSeconds),
+		LatencyBucket:   e.LatencyBucket,
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(je); err != nil {
+		// A struct of ints and strings cannot fail to marshal.
+		panic(fmt.Sprintf("olog: encoding event: %v", err))
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n")
+}
+
+// DecodeEvent parses one canonical JSON line. Unknown keys are rejected:
+// a log that decodes is guaranteed to re-encode byte-identically.
+func DecodeEvent(line []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var je jsonEvent
+	if err := dec.Decode(&je); err != nil {
+		return Event{}, fmt.Errorf("olog: decoding event: %w", err)
+	}
+	e := Event{
+		Seq:             je.Seq,
+		RequestID:       je.RequestID,
+		Net:             je.Net,
+		Pins:            je.Pins,
+		Algo:            je.Algo,
+		Oracle:          je.Oracle,
+		Workers:         je.Workers,
+		Outcome:         je.Outcome,
+		Status:          je.Status,
+		Error:           je.Error,
+		TraceID:         je.TraceID,
+		TraceEvents:     je.TraceEvents,
+		TraceDropped:    je.TraceDropped,
+		TraceTombstoned: je.TraceTombstoned,
+		Candidates:      je.Candidates,
+		Accepted:        je.Accepted,
+		Pruned:          je.Pruned,
+		OracleEvals:     je.OracleEvals,
+		CacheHits:       je.CacheHits,
+		LatencyBucket:   je.LatencyBucket,
+	}
+	var err error
+	if e.QueueSeconds, err = parseFloat(je.QueueSeconds, "queue_s"); err != nil {
+		return Event{}, err
+	}
+	if e.DecodeSeconds, err = parseFloat(je.DecodeSeconds, "decode_s"); err != nil {
+		return Event{}, err
+	}
+	if e.SweepSeconds, err = parseFloat(je.SweepSeconds, "sweep_s"); err != nil {
+		return Event{}, err
+	}
+	if e.OracleSeconds, err = parseFloat(je.OracleSeconds, "oracle_s"); err != nil {
+		return Event{}, err
+	}
+	if e.StoreSeconds, err = parseFloat(je.StoreSeconds, "store_s"); err != nil {
+		return Event{}, err
+	}
+	if e.TotalSeconds, err = parseFloat(je.TotalSeconds, "total_s"); err != nil {
+		return Event{}, err
+	}
+	return e, nil
+}
+
+// WriteJSONL writes the events as canonical JSONL, one event per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := bw.Write(e.Encode()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a canonical JSONL log. Blank lines are skipped so
+// hand-edited fixtures stay readable.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		e, err := DecodeEvent(b)
+		if err != nil {
+			return nil, fmt.Errorf("olog: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("olog: reading: %w", err)
+	}
+	return events, nil
+}
+
+// Fingerprint renders the deterministic projection of the events as
+// canonical JSONL. Two request sequences with identical outcomes produce
+// byte-identical fingerprints at any Workers value — the wide-event
+// analogue of trace.Fingerprint.
+func Fingerprint(events []Event) string {
+	var buf bytes.Buffer
+	for _, e := range events {
+		buf.Write(e.Deterministic().Encode())
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// Drift is one divergence between two event logs.
+type Drift struct {
+	// Index is the event position at which the logs diverge (0-based);
+	// len(shorter log) when one log is a prefix of the other.
+	Index int
+	// Got and Want are the canonical deterministic encodings at Index
+	// ("" for the log that ended early).
+	Got, Want string
+}
+
+// String renders the drift for diagnostics.
+func (d Drift) String() string {
+	switch {
+	case d.Got == "":
+		return fmt.Sprintf("event %d: log ended early; want %s", d.Index, d.Want)
+	case d.Want == "":
+		return fmt.Sprintf("event %d: unexpected extra event %s", d.Index, d.Got)
+	default:
+		return fmt.Sprintf("event %d:\n  got  %s\n  want %s", d.Index, d.Got, d.Want)
+	}
+}
+
+// maxDrifts bounds Diff's report: after this many divergences the
+// remaining events are summarized as a single length drift, keeping
+// pathological diffs readable.
+const maxDrifts = 20
+
+// Diff compares the deterministic projections of two event logs event by
+// event and returns the divergences, empty when the logs agree. Seq is
+// part of the comparison — a dropped or duplicated event shifts every
+// later sequence number and is reported at its first occurrence.
+func Diff(got, want []Event) []Drift {
+	var drifts []Drift
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		g := string(got[i].Deterministic().Encode())
+		w := string(want[i].Deterministic().Encode())
+		if g != w {
+			drifts = append(drifts, Drift{Index: i, Got: g, Want: w})
+			if len(drifts) >= maxDrifts {
+				break
+			}
+		}
+	}
+	if len(drifts) < maxDrifts {
+		for i := n; i < len(got); i++ {
+			drifts = append(drifts, Drift{Index: i, Got: string(got[i].Deterministic().Encode())})
+			if len(drifts) >= maxDrifts {
+				break
+			}
+		}
+		for i := n; i < len(want); i++ {
+			drifts = append(drifts, Drift{Index: i, Want: string(want[i].Deterministic().Encode())})
+			if len(drifts) >= maxDrifts {
+				break
+			}
+		}
+	}
+	return drifts
+}
+
+// FormatDrifts renders a drift list for diagnostics, one drift per
+// paragraph.
+func FormatDrifts(drifts []Drift) string {
+	var b strings.Builder
+	for _, d := range drifts {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package olog
+
+import (
+	"io"
+	"sync"
+)
+
+// Unlike trace.Ring, this ring never reads the clock: the serve layer
+// stamps every timing through the sanctioned obs helpers before handing
+// the event over, so package olog is trivially clean under the
+// nondetsource analyzer.
+
+// DefaultRingCapacity is the event capacity NewRing uses for
+// capacity <= 0 — one event per request, so this is the window of recent
+// requests a long-lived daemon keeps inspectable at /logs.
+const DefaultRingCapacity = 1024
+
+// Ring is a bounded buffer of wide events keeping the most recent
+// requests. Append assigns monotonically increasing sequence numbers, so
+// even after wraparound the retained tail reports how much history it
+// lost (Dropped). Safe for concurrent use.
+//
+// Lock order: mu is a leaf lock — no Ring method calls out of the
+// package while holding it, so it can safely be acquired under any
+// caller's lock. The lockorder analyzer verifies this nesting stays
+// acyclic (DESIGN.md §14).
+type Ring struct {
+	mu sync.Mutex
+	//nontree:guardedby mu
+	buf []Event
+	// head is the index of the oldest retained event.
+	//nontree:guardedby mu
+	head int
+	//nontree:guardedby mu
+	size int
+	//nontree:guardedby mu
+	seq int64
+	//nontree:guardedby mu
+	dropped int64
+}
+
+// NewRing returns a ring retaining the last capacity events
+// (DefaultRingCapacity when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append assigns the next sequence number and appends the event,
+// evicting the oldest when full. It reports whether an event was
+// evicted, so the caller can account the eviction.
+func (r *Ring) Append(e Event) (evicted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.Seq = r.seq
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		r.size++
+		return false
+	}
+	r.buf[r.head] = e
+	r.head = (r.head + 1) % len(r.buf)
+	r.dropped++
+	return true
+}
+
+// Find returns the retained event for the given request ID. The scan
+// runs newest-first so a (never expected) duplicated ID resolves to the
+// most recent event.
+func (r *Ring) Find(requestID string) (Event, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := r.size - 1; i >= 0; i-- {
+		e := r.buf[(r.head+i)%len(r.buf)]
+		if e.RequestID == requestID {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Events returns the retained events, oldest first. The slice is a copy.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.size)
+	for i := 0; i < r.size; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Dropped returns how many events were evicted by wraparound; zero means
+// Events holds the daemon's complete request history.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteJSONL writes the retained events as canonical JSONL.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Events())
+}
+
+// Fingerprint renders the deterministic projection of the retained
+// events; see the package-level Fingerprint.
+func (r *Ring) Fingerprint() string {
+	return Fingerprint(r.Events())
+}

@@ -1,0 +1,131 @@
+package olog
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingAppendAssignsSeq(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 3; i++ {
+		if evicted := r.Append(Event{RequestID: fmt.Sprintf("r%d", i), Outcome: OutcomeOK}); evicted {
+			t.Fatalf("append %d evicted below capacity", i)
+		}
+	}
+	events := r.Events()
+	if len(events) != 3 || r.Len() != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped %d below capacity", r.Dropped())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	evictions := 0
+	for i := 0; i < 5; i++ {
+		if r.Append(Event{RequestID: fmt.Sprintf("r%d", i), Outcome: OutcomeOK}) {
+			evictions++
+		}
+	}
+	if evictions != 2 || r.Dropped() != 2 {
+		t.Fatalf("evictions=%d dropped=%d, want 2 and 2", evictions, r.Dropped())
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d retained events, want 3", len(events))
+	}
+	// Oldest-first with seq continuity across the wrap.
+	for i, e := range events {
+		if e.Seq != int64(i+3) {
+			t.Fatalf("retained event %d has seq %d, want %d", i, e.Seq, i+3)
+		}
+	}
+}
+
+func TestRingFind(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Append(Event{RequestID: fmt.Sprintf("r%d", i), Outcome: OutcomeOK})
+	}
+	if _, ok := r.Find("r0"); ok {
+		t.Fatal("found an evicted event")
+	}
+	e, ok := r.Find("r4")
+	if !ok || e.Seq != 5 {
+		t.Fatalf("Find(r4) = %+v, %v; want seq 5", e, ok)
+	}
+	if _, ok := r.Find("missing"); ok {
+		t.Fatal("found a never-appended event")
+	}
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < DefaultRingCapacity+10; i++ {
+		r.Append(Event{RequestID: fmt.Sprintf("r%d", i), Outcome: OutcomeOK})
+	}
+	if r.Len() != DefaultRingCapacity || r.Dropped() != 10 {
+		t.Fatalf("len=%d dropped=%d, want %d and 10", r.Len(), r.Dropped(), DefaultRingCapacity)
+	}
+}
+
+func TestRingWriteJSONLAndFingerprint(t *testing.T) {
+	r := NewRing(4)
+	r.Append(Event{RequestID: "ra", Outcome: OutcomeOK, Status: 200, TotalSeconds: 0.5})
+	r.Append(Event{RequestID: "rb", Outcome: OutcomeError, Status: 422, Error: "no feasible edge"})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(back) != 2 || back[0].RequestID != "ra" || back[1].RequestID != "rb" {
+		t.Fatalf("round trip: %+v", back)
+	}
+
+	fp := r.Fingerprint()
+	if strings.Contains(fp, "total_s") {
+		t.Fatalf("fingerprint leaked a nondeterministic field: %s", fp)
+	}
+	if !strings.Contains(fp, `"request_id":"ra"`) || !strings.Contains(fp, `"request_id":"rb"`) {
+		t.Fatalf("fingerprint missing events: %s", fp)
+	}
+}
+
+func TestRingConcurrentAppend(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Append(Event{RequestID: fmt.Sprintf("g%dr%d", g, i), Outcome: OutcomeOK})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 64 || r.Dropped() != 800-64 {
+		t.Fatalf("len=%d dropped=%d after concurrent appends", r.Len(), r.Dropped())
+	}
+	// Sequence numbers of the retained tail must be contiguous.
+	events := r.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d after %d", i, events[i].Seq, events[i-1].Seq)
+		}
+	}
+}

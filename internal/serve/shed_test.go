@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"nontree/internal/obs"
+	"nontree/internal/olog"
 )
 
 // stalled instruments a server so every /route request blocks (after
@@ -54,9 +55,12 @@ func waitInflight(t *testing.T, s *Server, want int64) {
 }
 
 // TestShedResponseShape pins the exact wire shape of every refusal the
-// daemon can produce: the limiter 429 (with Retry-After), the drain 503,
-// and the request-timeout 503. Clients key their backoff behavior off
-// these, so body and headers are contract, not cosmetics.
+// daemon can produce: the limiter 429 (with Retry-After), the drain 503
+// (with Retry-After — the replacement process is seconds away), and the
+// request-timeout 503. Clients key their backoff behavior off these, so
+// body and headers are contract, not cosmetics. Every refusal must also
+// leave exactly one wide event behind — refused requests retain no trace,
+// so the event is their only record.
 func TestShedResponseShape(t *testing.T) {
 	cases := []struct {
 		name          string
@@ -66,6 +70,7 @@ func TestShedResponseShape(t *testing.T) {
 		wantErrorJSON string // exact "error" field of the JSON body ("" = raw-body case)
 		wantBody      string // substring of the raw body
 		wantRejected  int64  // serve.route.rejected delta
+		wantOutcome   string // wide-event outcome
 	}{
 		{
 			name: "limiter-429",
@@ -76,6 +81,7 @@ func TestShedResponseShape(t *testing.T) {
 			wantRetry:     "1",
 			wantErrorJSON: "concurrency limit reached",
 			wantRejected:  1,
+			wantOutcome:   olog.OutcomeShed,
 		},
 		{
 			name: "drain-503",
@@ -84,9 +90,10 @@ func TestShedResponseShape(t *testing.T) {
 				s.BeginDrain()
 			},
 			wantStatus:    http.StatusServiceUnavailable,
-			wantRetry:     "",
+			wantRetry:     "1",
 			wantErrorJSON: "server is draining",
 			wantRejected:  1,
+			wantOutcome:   olog.OutcomeDrained,
 		},
 		{
 			name: "timeout-503",
@@ -98,6 +105,7 @@ func TestShedResponseShape(t *testing.T) {
 			wantBody:   "request timed out",
 			// The timed-out request was accepted, not shed.
 			wantRejected: 0,
+			wantOutcome:  olog.OutcomeTimeout,
 		},
 	}
 	for _, tc := range cases {
@@ -163,8 +171,59 @@ func TestShedResponseShape(t *testing.T) {
 				}
 			}
 			waitInflight(t, s, 0)
+
+			// Every refusal leaves exactly one wide event — the refused
+			// request's only record, since it retained no trace. The timeout
+			// case emits only after its handler finishes, which
+			// waitInflight(0) above guarantees.
+			reqID := resp.Header.Get("X-Request-ID")
+			if reqID == "" {
+				t.Fatal("refusal carried no X-Request-ID header")
+			}
+			ev, ok := findEvent(s, reqID)
+			if !ok {
+				t.Fatalf("no wide event for refused request %s", reqID)
+			}
+			if ev.Outcome != tc.wantOutcome {
+				t.Errorf("wide-event outcome = %q, want %q", ev.Outcome, tc.wantOutcome)
+			}
+			if ev.Status != tc.wantStatus {
+				t.Errorf("wide-event status = %d, want %d", ev.Status, tc.wantStatus)
+			}
+			if ev.TraceID != "" {
+				t.Errorf("refused request retained trace %s", ev.TraceID)
+			}
+
+			if tc.name == "drain-503" {
+				// The drain wide event must resolve over the wire too: GET
+				// /logs?request= serves it as one canonical JSONL line.
+				lr, err := http.Get(ts.URL + "/logs?request=" + reqID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				events, rerr := olog.ReadJSONL(lr.Body)
+				lr.Body.Close()
+				if rerr != nil || len(events) != 1 {
+					t.Fatalf("GET /logs?request=%s: %d events, err %v", reqID, len(events), rerr)
+				}
+				if events[0].Outcome != olog.OutcomeDrained || events[0].Error != "server is draining" {
+					t.Errorf("drain wide event = %+v", events[0])
+				}
+			}
 		})
 	}
+}
+
+// findEvent polls the log ring for a request's wide event: the handler
+// emits it after writing the response, so the client can briefly race it.
+func findEvent(s *Server, reqID string) (olog.Event, bool) {
+	for i := 0; i < 2000; i++ {
+		if ev, ok := s.Logs().Find(reqID); ok {
+			return ev, true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return olog.Event{}, false
 }
 
 // TestSlotReleasedOnClientDisconnect: a client abandoning an in-flight

@@ -212,6 +212,7 @@ func Drive(w *Workload, opts DriveOptions) (*Report, error) {
 		Violations:          []string{},
 	}
 	report.Totals = tallyOutcomes(reg, outcomes, wall)
+	report.Phases = tallyPhases(outcomes)
 	report.LatencyHistogram = reg.Snapshot().Timings[obs.TimeSimRequestSeconds]
 	report.Totals.Latency = latencySummary(report.LatencyHistogram)
 
@@ -232,6 +233,20 @@ type outcome struct {
 	// shed marks daemon-refused requests: 429 from the concurrency limiter
 	// or the drain 503 (distinguished from the timeout 503 by body).
 	shed bool
+	// requestID is the daemon-assigned id (X-Request-ID), resolvable at
+	// the target's /logs?request=<id> while retained; "" on transport
+	// failure.
+	requestID string
+	// phases is the server-reported latency attribution of a 200 reply;
+	// nil otherwise.
+	phases *serve.PhaseBreakdown
+}
+
+// routeReply is the slice of the /route reply the driver keeps: decoding
+// the full topology for every driven request would dominate client CPU.
+type routeReply struct {
+	RequestID string                `json:"request_id"`
+	Phases    *serve.PhaseBreakdown `json:"phases"`
 }
 
 // post issues one /route request and classifies the reply. The body is
@@ -243,14 +258,50 @@ func post(client *http.Client, target string, body []byte) outcome {
 	}
 	b, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	o := outcome{status: resp.StatusCode}
+	o := outcome{status: resp.StatusCode, requestID: resp.Header.Get("X-Request-ID")}
 	switch resp.StatusCode {
+	case http.StatusOK:
+		var reply routeReply
+		if json.Unmarshal(b, &reply) == nil {
+			o.phases = reply.Phases
+		}
 	case http.StatusTooManyRequests:
 		o.shed = true
 	case http.StatusServiceUnavailable:
 		o.shed = bytes.Contains(b, []byte("draining"))
 	}
 	return o
+}
+
+// tallyPhases means the server-reported phase breakdowns across the OK
+// replies that carried one (nil when none did — e.g. pre-phase daemons or
+// an all-shed drive), giving the soak report the server-side view of where
+// request latency went.
+func tallyPhases(outcomes []outcome) *PhaseSection {
+	var p PhaseSection
+	for _, o := range outcomes {
+		if o.phases == nil {
+			continue
+		}
+		p.Requests++
+		p.MeanQueueSeconds += o.phases.QueueSeconds
+		p.MeanDecodeSeconds += o.phases.DecodeSeconds
+		p.MeanSweepSeconds += o.phases.SweepSeconds
+		p.MeanOracleSeconds += o.phases.OracleSeconds
+		p.MeanStoreSeconds += o.phases.StoreSeconds
+		p.MeanTotalSeconds += o.phases.TotalSeconds
+	}
+	if p.Requests == 0 {
+		return nil
+	}
+	n := float64(p.Requests)
+	p.MeanQueueSeconds /= n
+	p.MeanDecodeSeconds /= n
+	p.MeanSweepSeconds /= n
+	p.MeanOracleSeconds /= n
+	p.MeanStoreSeconds /= n
+	p.MeanTotalSeconds /= n
+	return &p
 }
 
 // tallyOutcomes folds the per-request outcomes into the registry's sim

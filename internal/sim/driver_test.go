@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"math"
 	"net/http"
 	"strings"
 	"testing"
@@ -70,6 +71,25 @@ func TestDriveClosedLoop(t *testing.T) {
 	}
 	if got := srv.Metrics().Snapshot().Counters[obs.CtrRouteRequests]; got != 24 {
 		t.Fatalf("server saw %d route requests, want 24", got)
+	}
+
+	// The daemon's per-phase latency attribution lands in the report: all
+	// 24 replies carried a breakdown, and the phase means decompose the
+	// mean total exactly (each underlying breakdown sums exactly).
+	if report.Phases == nil {
+		t.Fatal("report carries no phase section")
+	}
+	p := report.Phases
+	if p.Requests != 24 {
+		t.Fatalf("phase section over %d requests, want 24", p.Requests)
+	}
+	if p.MeanTotalSeconds <= 0 {
+		t.Fatalf("phase section total = %g", p.MeanTotalSeconds)
+	}
+	sum := p.MeanQueueSeconds + p.MeanDecodeSeconds + p.MeanSweepSeconds +
+		p.MeanOracleSeconds + p.MeanStoreSeconds
+	if math.Abs(sum-p.MeanTotalSeconds) > 1e-9 {
+		t.Fatalf("phase means sum %g != mean total %g", sum, p.MeanTotalSeconds)
 	}
 }
 

@@ -94,6 +94,21 @@ func (s SLO) Empty() bool {
 		s.MinThroughputQPS <= 0 && !s.RequireDrain
 }
 
+// PhaseSection is the mean per-phase server-side latency attribution of a
+// drive, averaged over the 200 replies that carried a phase breakdown.
+// The five phase means sum to MeanTotalSeconds exactly, because every
+// underlying breakdown does.
+type PhaseSection struct {
+	// Requests counts the replies the means were taken over.
+	Requests          int64   `json:"requests"`
+	MeanQueueSeconds  float64 `json:"mean_queue_seconds"`
+	MeanDecodeSeconds float64 `json:"mean_decode_seconds"`
+	MeanSweepSeconds  float64 `json:"mean_sweep_seconds"`
+	MeanOracleSeconds float64 `json:"mean_oracle_seconds"`
+	MeanStoreSeconds  float64 `json:"mean_store_seconds"`
+	MeanTotalSeconds  float64 `json:"mean_total_seconds"`
+}
+
 // Report is the machine-readable output of a drive — the schema behind
 // SIM_*.json.
 type Report struct {
@@ -110,6 +125,11 @@ type Report struct {
 	// architecture); filled by the command, excluded from comparisons.
 	Environment map[string]string `json:"environment,omitempty"`
 	Totals      Totals            `json:"totals"`
+	// Phases is the mean server-reported per-phase latency attribution
+	// across the drive's 200 replies (nil when no reply carried one) —
+	// the server-side decomposition of the client-side Latency summary.
+	// Additive field: older SIM artifacts simply lack it.
+	Phases *PhaseSection `json:"phases,omitempty"`
 	// LatencyHistogram is the full power-of-two latency distribution the
 	// summary quantiles were estimated from.
 	LatencyHistogram obs.HistogramSnapshot `json:"latency_histogram"`

@@ -221,6 +221,11 @@ type Config struct {
 	// value; use NewTraceRing to capture and TraceFingerprint to render.
 	// See DESIGN.md §11.
 	Trace Tracer
+	// RequestID tags the run with the serving layer's request identity
+	// ("" outside a daemon). It is provenance only — propagated into the
+	// sweeps' and oracles' error tags so a failure names the request it
+	// belongs to, never read by any algorithm decision (DESIGN.md §16).
+	RequestID string
 }
 
 func (c Config) params() Params {
@@ -234,14 +239,14 @@ func (c Config) coreOptions() core.Options {
 	// The tracer is wired into the algorithm layer only, never into the
 	// oracles: oracle-level events come from worker goroutines when
 	// Workers != 1, which would break the byte-identity guarantee.
-	opts := core.Options{MaxAddedEdges: c.MaxAddedEdges, Workers: c.Workers, Obs: c.Obs, Trace: c.Trace}
+	opts := core.Options{MaxAddedEdges: c.MaxAddedEdges, Workers: c.Workers, Obs: c.Obs, Trace: c.Trace, RequestID: c.RequestID}
 	switch c.Oracle {
 	case OracleSpice:
-		opts.Oracle = &core.SpiceOracle{Params: c.params(), Obs: c.Obs}
+		opts.Oracle = &core.SpiceOracle{Params: c.params(), Obs: c.Obs, RequestID: c.RequestID}
 	case OracleTwoPole:
-		opts.Oracle = &core.TwoPoleOracle{Params: c.params(), Obs: c.Obs}
+		opts.Oracle = &core.TwoPoleOracle{Params: c.params(), Obs: c.Obs, RequestID: c.RequestID}
 	default:
-		opts.Oracle = &core.ElmoreOracle{Params: c.params(), Obs: c.Obs}
+		opts.Oracle = &core.ElmoreOracle{Params: c.params(), Obs: c.Obs, RequestID: c.RequestID}
 	}
 	if c.SinkWeights != nil {
 		opts.Objective = &core.WeightedDelayObjective{Alphas: c.SinkWeights}
@@ -332,6 +337,7 @@ func WireSize(t *Topology, maxWidth int, cfg Config) (*WireSizeResult, error) {
 		Workers:   cfg.Workers,
 		Obs:       cfg.Obs,
 		Trace:     cfg.Trace,
+		RequestID: cfg.RequestID,
 	})
 }
 
@@ -343,7 +349,7 @@ func HORG(net *Net, alphas []float64, useSteiner bool, maxWidth int, cfg Config)
 		return nil, err
 	}
 	opts := cfg.coreOptions()
-	return core.HORG(net.Pins, alphas, useSteiner, core.WireSizeOptions{MaxWidth: maxWidth, Workers: cfg.Workers, Obs: cfg.Obs, Trace: cfg.Trace}, opts)
+	return core.HORG(net.Pins, alphas, useSteiner, core.WireSizeOptions{MaxWidth: maxWidth, Workers: cfg.Workers, Obs: cfg.Obs, Trace: cfg.Trace, RequestID: cfg.RequestID}, opts)
 }
 
 // DelayReport holds measured delays of a topology.
